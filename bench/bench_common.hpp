@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared plumbing for the figure/table reproduction harnesses: canonical
+/// experiment specs (fixed seeds — tables must be identical run-to-run) and
+/// small formatting helpers.
+
+#include <iostream>
+#include <string>
+
+#include "runtime/session.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/datasets.hpp"
+
+namespace hybrimoe::bench {
+
+/// The evaluation's fixed seed; all harnesses derive their streams from it.
+inline constexpr std::uint64_t kBenchSeed = 20250408;  // arXiv date of the paper
+
+/// Canonical spec for one (model, cache-ratio) cell of the evaluation grid.
+inline runtime::ExperimentSpec make_spec(const moe::ModelConfig& model,
+                                         double cache_ratio,
+                                         std::uint64_t seed = kBenchSeed) {
+  runtime::ExperimentSpec spec;
+  spec.model = model;
+  spec.machine = hw::MachineProfile::a6000_xeon10();
+  spec.cache_ratio = cache_ratio;
+  spec.trace.seed = seed;
+  return spec;
+}
+
+/// The paper's cache-ratio grid (Figs. 7/8).
+inline constexpr std::array<double, 3> kCacheRatios{0.25, 0.50, 0.75};
+
+/// Decode steps used for TBT measurements.
+inline constexpr std::size_t kDecodeSteps = 64;
+
+inline std::string pct(double ratio) {
+  return util::format_double(ratio * 100.0, 0) + "%";
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=====================================================================\n"
+            << title << "\n(reproduces " << paper_ref << ")\n"
+            << "=====================================================================\n";
+}
+
+}  // namespace hybrimoe::bench

@@ -1,0 +1,56 @@
+/// \file fig1_timeline.cpp
+/// Reproduces the paper's Fig. 1 execution timelines for one MoE layer with
+/// six experts:
+///  (a) on-demand loading — every uncached expert streams over PCIe before
+///      the GPU can compute it;
+///  (b) unbalanced hybrid — misses run on the CPU, but with a fixed mapping
+///      one side finishes long before the other;
+///  (c) balanced hybrid — HybriMoE's scheduling overlaps CPU, GPU and PCIe
+///      so both devices finish together ("expected speedup" arrows).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hw/timeline.hpp"
+#include "sched/simulator.hpp"
+
+int main() {
+  using namespace hybrimoe;
+  using namespace hybrimoe::bench;
+
+  print_header("Execution timelines: on-demand vs hybrid CPU-GPU", "paper Fig. 1");
+
+  // Six experts, two cached — a decode-ish layer on the unit-cost machine
+  // (cpu = load, gpu = 1, transfer = 3) with mixed loads.
+  const moe::ModelConfig model = moe::ModelConfig::tiny();
+  const hw::CostModel costs(hw::MachineProfile::unit_test_machine(), model);
+  const std::vector<sched::ExpertDemand> demands = {
+      {1, 2, true},  {2, 2, true},  {3, 1, false},
+      {4, 2, false}, {5, 3, false}, {6, 5, false}};
+
+  struct Scenario {
+    const char* name;
+    sched::SimOptions options;
+  };
+  const Scenario scenarios[] = {
+      {"(a) on-demand loading",
+       {.allow_cpu = false, .transfer_only_if_beneficial = false}},
+      {"(b) unbalanced hybrid (fixed mapping)",
+       {.allow_transfers = false, .allow_cpu_steal = false}},
+      {"(c) balanced hybrid (HybriMoE)", {}},
+  };
+
+  double first = 0.0;
+  for (const auto& sc : scenarios) {
+    const auto plan =
+        sched::simulate_layer(0, sched::Stage::Decode, demands, costs, sc.options);
+    if (first == 0.0) first = plan.makespan;
+    std::cout << "\n" << sc.name << " — makespan "
+              << util::format_double(plan.makespan, 2) << " units (speedup vs (a): "
+              << util::format_speedup(first / plan.makespan) << ")\n"
+              << hw::render_gantt(plan.to_timelines());
+  }
+  std::cout << "\nBalanced scheduling overlaps all three resources — the paper's\n"
+               "motivating observation.\n";
+  return 0;
+}

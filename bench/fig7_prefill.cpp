@@ -1,0 +1,56 @@
+/// \file fig7_prefill.cpp
+/// Reproduces Fig. 7: prefill TTFT of llama.cpp / AdapMoE / KTransformers /
+/// HybriMoE on the three models, across prompt lengths {32,128,512,1024} and
+/// GPU expert cache ratios {25,50,75}%. Per-cell speedups are relative to
+/// KTransformers, matching the paper's right axis; the paper's headline is
+/// an average 1.33x speedup of HybriMoE over KTransformers.
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hybrimoe;
+  using namespace hybrimoe::bench;
+
+  print_header("Prefill stage performance (TTFT, seconds)", "paper Fig. 7");
+
+  util::RunningStats hybrimoe_speedup;
+  for (const auto& model : moe::paper_models()) {
+    for (const double ratio : kCacheRatios) {
+      runtime::ExperimentHarness harness(make_spec(model, ratio));
+
+      util::TextTable table(model.name + " with " + pct(ratio) + " cache ratio");
+      table.set_headers({"framework", "32", "128", "512", "1024", "avg",
+                         "speedup vs KTrans"});
+
+      // KTransformers reference row computed first (shared traces).
+      std::map<std::size_t, double> ktrans;
+      for (const std::size_t len : workload::kPaperPrefillLengths)
+        ktrans[len] = harness.run_prefill(runtime::Framework::KTransformers, len).ttft();
+
+      for (const auto framework : runtime::kPaperFrameworks) {
+        double sum = 0.0;
+        double ktrans_sum = 0.0;
+        table.begin_row().add_cell(runtime::to_string(framework));
+        for (const std::size_t len : workload::kPaperPrefillLengths) {
+          const double ttft = harness.run_prefill(framework, len).ttft();
+          sum += ttft;
+          ktrans_sum += ktrans[len];
+          table.add_cell(ttft, 3);
+        }
+        const double avg = sum / static_cast<double>(workload::kPaperPrefillLengths.size());
+        const double speedup = ktrans_sum / sum;
+        table.add_cell(avg, 3).add_cell(util::format_speedup(speedup));
+        if (framework == runtime::Framework::HybriMoE) hybrimoe_speedup.add(speedup);
+      }
+      table.print(std::cout);
+    }
+  }
+
+  std::cout << "\nHybriMoE average prefill speedup vs KTransformers: "
+            << util::format_speedup(hybrimoe_speedup.mean())
+            << "   (paper reports 1.33x)\n";
+  return 0;
+}

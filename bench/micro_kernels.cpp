@@ -1,0 +1,128 @@
+/// \file micro_kernels.cpp
+/// google-benchmark microbenchmarks of the hot paths: the scheduler's greedy
+/// simulation (runs once per layer per forward — §V stresses that decision
+/// overhead must stay negligible), cache operations, the router, and the Q4
+/// kernels backing the functional path.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cache/expert_cache.hpp"
+#include "cache/mrs_policy.hpp"
+#include "kernels/expert.hpp"
+#include "kernels/ops.hpp"
+#include "moe/router.hpp"
+#include "sched/simulator.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace hybrimoe;
+
+std::vector<sched::ExpertDemand> random_demands(util::Rng& rng, std::size_t count,
+                                                std::uint32_t max_load,
+                                                double cached_fraction) {
+  std::vector<sched::ExpertDemand> demands;
+  demands.reserve(count);
+  for (std::size_t e = 0; e < count; ++e) {
+    demands.push_back({static_cast<std::uint16_t>(e),
+                       static_cast<std::uint32_t>(rng.uniform_index(max_load) + 1),
+                       rng.bernoulli(cached_fraction)});
+  }
+  return demands;
+}
+
+void BM_HybridScheduleDecode(benchmark::State& state) {
+  const auto model = moe::ModelConfig::deepseek();
+  const hw::CostModel costs(hw::MachineProfile::a6000_xeon10(), model);
+  util::Rng rng(1);
+  const auto demands = random_demands(rng, static_cast<std::size_t>(state.range(0)), 1, 0.5);
+  for (auto _ : state) {
+    auto plan = sched::simulate_layer(0, sched::Stage::Decode, demands, costs);
+    benchmark::DoNotOptimize(plan.makespan);
+  }
+}
+BENCHMARK(BM_HybridScheduleDecode)->Arg(6)->Arg(8)->Arg(16);
+
+void BM_HybridSchedulePrefill(benchmark::State& state) {
+  const auto model = moe::ModelConfig::qwen2();
+  const hw::CostModel costs(hw::MachineProfile::a6000_xeon10(), model);
+  util::Rng rng(2);
+  const auto demands =
+      random_demands(rng, static_cast<std::size_t>(state.range(0)), 32, 0.25);
+  for (auto _ : state) {
+    auto plan = sched::simulate_layer(0, sched::Stage::Prefill, demands, costs);
+    benchmark::DoNotOptimize(plan.makespan);
+  }
+}
+BENCHMARK(BM_HybridSchedulePrefill)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_CacheLookupInsert(benchmark::State& state) {
+  const auto model = moe::ModelConfig::deepseek();
+  cache::ExpertCache cache(cache::ExpertCache::capacity_for_ratio(model, 0.25),
+                           std::make_unique<cache::MrsPolicy>());
+  util::Rng rng(3);
+  for (auto _ : state) {
+    const moe::ExpertId id{
+        static_cast<std::uint16_t>(rng.uniform_index(model.num_layers)),
+        static_cast<std::uint16_t>(rng.uniform_index(model.num_routed_experts))};
+    if (!cache.lookup(id)) benchmark::DoNotOptimize(cache.insert(id));
+  }
+}
+BENCHMARK(BM_CacheLookupInsert);
+
+void BM_MrsScoreUpdate(benchmark::State& state) {
+  cache::MrsPolicy policy;
+  util::Rng rng(4);
+  std::vector<float> scores(64);
+  for (float& s : scores) s = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    policy.on_scores(0, scores, 6);
+    benchmark::DoNotOptimize(policy.score({0, 0}));
+  }
+}
+BENCHMARK(BM_MrsScoreUpdate);
+
+void BM_RouterBatch(benchmark::State& state) {
+  const auto tokens = static_cast<std::size_t>(state.range(0));
+  moe::Router router(64, 6);
+  util::Rng rng(5);
+  std::vector<float> logits(tokens * 64);
+  for (float& v : logits) v = static_cast<float>(rng.gaussian());
+  for (auto _ : state) {
+    auto routing = router.route_batch(logits, tokens);
+    benchmark::DoNotOptimize(routing.loads.data());
+  }
+}
+BENCHMARK(BM_RouterBatch)->Arg(1)->Arg(32)->Arg(128);
+
+void BM_Q4ExpertForward(benchmark::State& state) {
+  util::Rng rng(6);
+  const auto dense = kernels::ExpertWeights::random(rng, 128, 256);
+  const kernels::QuantizedExpert expert(dense);
+  std::vector<float> x(128);
+  for (float& v : x) v = static_cast<float>(rng.gaussian());
+  for (auto _ : state) {
+    auto y = expert.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Q4ExpertForward);
+
+void BM_TraceGenerationDecodeStep(benchmark::State& state) {
+  const auto model = moe::ModelConfig::deepseek();
+  workload::TraceGenParams params;
+  params.seed = 7;
+  workload::TraceGenerator gen(model, params);
+  for (auto _ : state) {
+    auto trace = gen.generate_decode(1);
+    benchmark::DoNotOptimize(trace.steps.front().layers.front().loads.data());
+  }
+}
+BENCHMARK(BM_TraceGenerationDecodeStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

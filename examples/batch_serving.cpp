@@ -1,0 +1,72 @@
+/// \file batch_serving.cpp
+/// Extension beyond the paper's single-stream decode: continuous-batching
+/// serving, where several sessions decode one token per step. Larger batches
+/// raise per-expert loads (toward the prefill regime), which shifts the
+/// hybrid scheduler's decisions from "CPU computes misses" toward "stream
+/// misses to the GPU" automatically — no configuration change needed.
+
+#include <iostream>
+
+#include "core/warmup.hpp"
+#include "runtime/frameworks.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+int main() {
+  using namespace hybrimoe;
+
+  const auto model = moe::ModelConfig::deepseek();
+  const hw::CostModel costs(hw::MachineProfile::a6000_xeon10(), model);
+  constexpr double kCacheRatio = 0.25;
+  constexpr std::size_t kSteps = 24;
+
+  std::cout << "Batched decode serving: " << model.name << " @ "
+            << kCacheRatio * 100 << "% cache, " << kSteps << " steps\n\n";
+
+  workload::TraceGenParams params;
+  params.seed = 4242;
+  workload::TraceGenerator generator(model, params);
+  // Warmup frequencies from a single-stream trace.
+  workload::TraceGenParams wparams = params;
+  wparams.gate_seed = params.effective_gate_seed();
+  wparams.seed = params.seed ^ 0xABCDEF;
+  workload::TraceGenerator warmup_gen(model, wparams);
+  const auto warmup_freq =
+      workload::activation_frequencies(warmup_gen.generate_decode(32), model);
+
+  util::TextTable table("per-token decode latency by batch size");
+  table.set_headers({"batch", "KTransformers TBT/token", "HybriMoE TBT/token",
+                     "speedup", "HybriMoE transfers/step"});
+
+  for (const std::size_t batch : {1UL, 2UL, 4UL, 8UL, 16UL}) {
+    generator.reset(params.seed + batch);
+    const auto trace = generator.generate_decode_batch(kSteps, batch);
+
+    runtime::EngineBuildInfo info;
+    info.cache_ratio = kCacheRatio;
+    info.warmup_frequencies = warmup_freq;
+
+    auto ktrans = runtime::make_engine(runtime::Framework::KTransformers, costs, info);
+    auto hybrimoe = runtime::make_engine(runtime::Framework::HybriMoE, costs, info);
+    const auto mk = ktrans->run_decode(trace);
+    const auto mh = hybrimoe->run_decode(trace);
+
+    // Per generated token: batch tokens per step.
+    const auto tokens = static_cast<double>(kSteps * batch);
+    const double kt = mk.total_latency / tokens;
+    const double hm = mh.total_latency / tokens;
+    table.begin_row()
+        .add_cell(std::to_string(batch))
+        .add_cell(util::format_seconds(kt))
+        .add_cell(util::format_seconds(hm))
+        .add_cell(util::format_speedup(kt / hm))
+        .add_cell(util::format_double(
+            static_cast<double>(mh.transfers) / static_cast<double>(kSteps), 1));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nAs the batch grows, per-expert loads rise and HybriMoE starts\n"
+               "streaming heavy misses to the GPU (transfers/step climbs) —\n"
+               "the same machinery that wins the prefill stage.\n";
+  return 0;
+}

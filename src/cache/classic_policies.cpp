@@ -1,0 +1,109 @@
+#include "cache/classic_policies.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace hybrimoe::cache {
+
+namespace {
+
+/// Generic "smallest key wins" scan; `key(id)` must be totally ordered.
+template <typename KeyFn>
+moe::ExpertId min_by(std::span<const moe::ExpertId> candidates, KeyFn key) {
+  HYBRIMOE_REQUIRE(!candidates.empty(), "choose_victim with no candidates");
+  moe::ExpertId best = candidates.front();
+  auto best_key = key(best);
+  for (const auto& id : candidates.subspan(1)) {
+    const auto k = key(id);
+    if (k < best_key) {
+      best_key = k;
+      best = id;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+moe::ExpertId LruPolicy::choose_victim(std::span<const moe::ExpertId> candidates) {
+  return min_by(candidates, [&](moe::ExpertId id) {
+    const auto it = stamp_.find(id);
+    return it != stamp_.end() ? it->second : 0;
+  });
+}
+
+double LruPolicy::priority(moe::ExpertId id) const {
+  const auto it = stamp_.find(id);
+  return it != stamp_.end() ? static_cast<double>(it->second) : 0.0;
+}
+
+moe::ExpertId LfuPolicy::choose_victim(std::span<const moe::ExpertId> candidates) {
+  // Pair (count, recency): least frequent first, oldest first on ties.
+  return min_by(candidates, [&](moe::ExpertId id) {
+    const auto cit = count_.find(id);
+    const auto sit = stamp_.find(id);
+    const std::uint64_t c = cit != count_.end() ? cit->second : 0;
+    const std::uint64_t s = sit != stamp_.end() ? sit->second : 0;
+    return std::pair<std::uint64_t, std::uint64_t>{c, s};
+  });
+}
+
+double LfuPolicy::priority(moe::ExpertId id) const {
+  const auto it = count_.find(id);
+  return it != count_.end() ? static_cast<double>(it->second) : 0.0;
+}
+
+moe::ExpertId FifoPolicy::choose_victim(std::span<const moe::ExpertId> candidates) {
+  return min_by(candidates, [&](moe::ExpertId id) {
+    const auto it = order_.find(id);
+    return it != order_.end() ? it->second : 0;
+  });
+}
+
+double FifoPolicy::priority(moe::ExpertId id) const {
+  const auto it = order_.find(id);
+  return it != order_.end() ? static_cast<double>(it->second) : 0.0;
+}
+
+moe::ExpertId RandomPolicy::choose_victim(std::span<const moe::ExpertId> candidates) {
+  HYBRIMOE_REQUIRE(!candidates.empty(), "choose_victim with no candidates");
+  return candidates[static_cast<std::size_t>(rng_.uniform_index(candidates.size()))];
+}
+
+BeladyPolicy::BeladyPolicy(std::vector<moe::ExpertId> reference_string) {
+  for (std::size_t pos = 0; pos < reference_string.size(); ++pos)
+    positions_[reference_string[pos]].push_back(pos);
+}
+
+void BeladyPolicy::on_reference(moe::ExpertId id) {
+  auto it = positions_.find(id);
+  HYBRIMOE_REQUIRE(it != positions_.end() && !it->second.empty() &&
+                       it->second.front() == clock_,
+                   "Belady reference stream diverged from the provided string");
+  it->second.pop_front();
+  ++clock_;
+}
+
+std::size_t BeladyPolicy::next_use(moe::ExpertId id) const {
+  const auto it = positions_.find(id);
+  if (it == positions_.end() || it->second.empty())
+    return std::numeric_limits<std::size_t>::max();
+  return it->second.front();
+}
+
+moe::ExpertId BeladyPolicy::choose_victim(std::span<const moe::ExpertId> candidates) {
+  HYBRIMOE_REQUIRE(!candidates.empty(), "choose_victim with no candidates");
+  moe::ExpertId best = candidates.front();
+  std::size_t best_next = next_use(best);
+  for (const auto& id : candidates.subspan(1)) {
+    const std::size_t n = next_use(id);
+    if (n > best_next) {  // farthest next use (or never used again) evicted
+      best_next = n;
+      best = id;
+    }
+  }
+  return best;
+}
+
+}  // namespace hybrimoe::cache

@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file classic_policies.hpp
+/// The textbook replacement policies the paper's evaluation compares MRS
+/// against (LRU in Fig. 9, LFU as the kTransformers default in Table I),
+/// plus FIFO / Random controls and a Belady oracle upper bound used by the
+/// ablation benches.
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/policy.hpp"
+#include "util/rng.hpp"
+
+namespace hybrimoe::cache {
+
+/// Least Recently Used: evicts the resident entry with the oldest access.
+class LruPolicy final : public CachePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "LRU"; }
+  void on_hit(moe::ExpertId id) override { stamp_[id] = ++clock_; }
+  void on_insert(moe::ExpertId id) override { stamp_[id] = ++clock_; }
+  void on_evict(moe::ExpertId id) override { stamp_.erase(id); }
+  [[nodiscard]] moe::ExpertId choose_victim(
+      std::span<const moe::ExpertId> candidates) override;
+  [[nodiscard]] double priority(moe::ExpertId id) const override;
+
+ private:
+  std::unordered_map<moe::ExpertId, std::uint64_t> stamp_;
+  std::uint64_t clock_ = 0;
+};
+
+/// Least Frequently Used with LRU tie-breaking (the kTransformers default).
+class LfuPolicy final : public CachePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "LFU"; }
+  void on_hit(moe::ExpertId id) override {
+    ++count_[id];
+    stamp_[id] = ++clock_;
+  }
+  void on_insert(moe::ExpertId id) override {
+    ++count_[id];  // frequency persists across residency periods
+    stamp_[id] = ++clock_;
+  }
+  void on_evict(moe::ExpertId id) override { stamp_.erase(id); }
+  [[nodiscard]] moe::ExpertId choose_victim(
+      std::span<const moe::ExpertId> candidates) override;
+  [[nodiscard]] double priority(moe::ExpertId id) const override;
+
+ private:
+  std::unordered_map<moe::ExpertId, std::uint64_t> count_;
+  std::unordered_map<moe::ExpertId, std::uint64_t> stamp_;
+  std::uint64_t clock_ = 0;
+};
+
+/// First-In First-Out: insertion order only.
+class FifoPolicy final : public CachePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "FIFO"; }
+  void on_hit(moe::ExpertId) override {}
+  void on_insert(moe::ExpertId id) override { order_[id] = ++clock_; }
+  void on_evict(moe::ExpertId id) override { order_.erase(id); }
+  [[nodiscard]] moe::ExpertId choose_victim(
+      std::span<const moe::ExpertId> candidates) override;
+  [[nodiscard]] double priority(moe::ExpertId id) const override;
+
+ private:
+  std::unordered_map<moe::ExpertId, std::uint64_t> order_;
+  std::uint64_t clock_ = 0;
+};
+
+/// Uniform-random victim (seeded, deterministic control baseline).
+class RandomPolicy final : public CachePolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed = 7) : rng_(seed) {}
+  [[nodiscard]] std::string name() const override { return "Random"; }
+  void on_hit(moe::ExpertId) override {}
+  void on_insert(moe::ExpertId) override {}
+  void on_evict(moe::ExpertId) override {}
+  [[nodiscard]] moe::ExpertId choose_victim(
+      std::span<const moe::ExpertId> candidates) override;
+
+ private:
+  util::Rng rng_;
+};
+
+/// Belady's optimal offline policy: evicts the resident entry whose next
+/// reference is farthest in the future. Requires the full reference string up
+/// front; on_reference advances the oracle clock. Used as the hit-rate upper
+/// bound in the cache ablation bench.
+class BeladyPolicy final : public CachePolicy {
+ public:
+  explicit BeladyPolicy(std::vector<moe::ExpertId> reference_string);
+  [[nodiscard]] std::string name() const override { return "Belady"; }
+  void on_reference(moe::ExpertId id) override;
+  void on_hit(moe::ExpertId) override {}
+  void on_insert(moe::ExpertId) override {}
+  void on_evict(moe::ExpertId) override {}
+  [[nodiscard]] moe::ExpertId choose_victim(
+      std::span<const moe::ExpertId> candidates) override;
+
+ private:
+  /// Next position of `id` strictly after the current clock.
+  [[nodiscard]] std::size_t next_use(moe::ExpertId id) const;
+
+  std::unordered_map<moe::ExpertId, std::deque<std::size_t>> positions_;
+  std::size_t clock_ = 0;
+};
+
+}  // namespace hybrimoe::cache

@@ -1,0 +1,108 @@
+#include "cache/expert_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace hybrimoe::cache {
+
+ExpertCache::ExpertCache(std::size_t capacity, std::unique_ptr<CachePolicy> policy)
+    : capacity_(capacity), policy_(std::move(policy)) {
+  HYBRIMOE_REQUIRE(policy_ != nullptr, "ExpertCache requires a policy");
+}
+
+std::size_t ExpertCache::capacity_for_ratio(const moe::ModelConfig& model, double ratio) {
+  HYBRIMOE_REQUIRE(ratio >= 0.0 && ratio <= 1.0, "cache ratio must be in [0,1]");
+  return static_cast<std::size_t>(
+      std::llround(ratio * static_cast<double>(model.total_routed_experts())));
+}
+
+bool ExpertCache::lookup(moe::ExpertId id) {
+  policy_->on_reference(id);
+  const bool hit = resident_.contains(id);
+  if (hit) {
+    ++stats_.hits;
+    policy_->on_hit(id);
+  } else {
+    ++stats_.misses;
+  }
+  return hit;
+}
+
+std::vector<moe::ExpertId> ExpertCache::evictable(
+    std::span<const moe::ExpertId> extra_protected) const {
+  std::vector<moe::ExpertId> out;
+  out.reserve(resident_.size());
+  for (const auto& id : resident_) {
+    if (pinned_.contains(id)) continue;
+    if (std::find(extra_protected.begin(), extra_protected.end(), id) !=
+        extra_protected.end())
+      continue;
+    out.push_back(id);
+  }
+  // Deterministic candidate order regardless of hash-set iteration order.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+InsertResult ExpertCache::insert(moe::ExpertId id,
+                                 std::span<const moe::ExpertId> do_not_evict) {
+  if (capacity_ == 0) {
+    ++stats_.rejected_insertions;
+    return {};
+  }
+  if (resident_.contains(id)) return {.inserted = true, .evicted = std::nullopt};
+
+  InsertResult result;
+  if (resident_.size() >= capacity_) {
+    const auto candidates = evictable(do_not_evict);
+    if (candidates.empty()) {
+      ++stats_.rejected_insertions;
+      return {};
+    }
+    const moe::ExpertId victim = policy_->choose_victim(candidates);
+    HYBRIMOE_ASSERT(resident_.contains(victim), "policy chose a non-resident victim");
+    resident_.erase(victim);
+    policy_->on_evict(victim);
+    ++stats_.evictions;
+    result.evicted = victim;
+  }
+  resident_.insert(id);
+  policy_->on_insert(id);
+  ++stats_.insertions;
+  result.inserted = true;
+  return result;
+}
+
+void ExpertCache::insert_pinned(moe::ExpertId id) {
+  const InsertResult r = insert(id);
+  HYBRIMOE_REQUIRE(r.inserted, "insert_pinned failed: cache exhausted by pinned entries");
+  pinned_.insert(id);
+}
+
+bool ExpertCache::erase(moe::ExpertId id) {
+  if (!resident_.erase(id)) return false;
+  pinned_.erase(id);
+  policy_->on_evict(id);
+  return true;
+}
+
+void ExpertCache::update_scores(std::uint16_t layer, std::span<const float> scores,
+                                std::size_t top_k) {
+  policy_->on_scores(layer, scores, top_k);
+}
+
+std::vector<moe::ExpertId> ExpertCache::residents() const {
+  std::vector<moe::ExpertId> out(resident_.begin(), resident_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<moe::ExpertId> ExpertCache::peek_victim() {
+  const auto candidates = evictable({});
+  if (candidates.empty()) return std::nullopt;
+  return policy_->choose_victim(candidates);
+}
+
+}  // namespace hybrimoe::cache

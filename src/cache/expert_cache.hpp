@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file expert_cache.hpp
+/// The GPU expert cache: a bounded set of (layer, expert) entries managed by
+/// a pluggable replacement policy. Capacity is counted in routed experts —
+/// the paper's "GPU expert cache ratio" of r means capacity =
+/// r * num_layers * num_routed_experts. Shared experts are permanent GPU
+/// residents outside this budget; *pinned* entries (kTransformers-style
+/// static placement) live inside the budget but are never evicted.
+
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/policy.hpp"
+#include "moe/model_config.hpp"
+
+namespace hybrimoe::cache {
+
+/// Hit/miss counters; hit_rate() is the paper's Fig. 9 metric.
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t insertions = 0;
+  std::size_t evictions = 0;
+  std::size_t rejected_insertions = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::size_t total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+  void reset() noexcept { *this = CacheStats{}; }
+};
+
+/// Outcome of an insertion attempt.
+struct InsertResult {
+  bool inserted = false;
+  std::optional<moe::ExpertId> evicted;
+};
+
+class ExpertCache {
+ public:
+  /// `capacity` in routed-expert slots; `policy` must be non-null.
+  ExpertCache(std::size_t capacity, std::unique_ptr<CachePolicy> policy);
+
+  /// Capacity from the paper's cache ratio for a given model.
+  [[nodiscard]] static std::size_t capacity_for_ratio(const moe::ModelConfig& model,
+                                                      double ratio);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return resident_.size(); }
+  [[nodiscard]] bool full() const noexcept { return resident_.size() >= capacity_; }
+  [[nodiscard]] bool contains(moe::ExpertId id) const {
+    return resident_.contains(id);
+  }
+  [[nodiscard]] bool is_pinned(moe::ExpertId id) const { return pinned_.contains(id); }
+
+  [[nodiscard]] CachePolicy& policy() noexcept { return *policy_; }
+  [[nodiscard]] const CachePolicy& policy() const noexcept { return *policy_; }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+
+  /// Record a lookup for an expert the current layer activated. Returns true
+  /// on hit. Updates policy recency/frequency state and the statistics.
+  bool lookup(moe::ExpertId id);
+
+  /// Non-recording residency probe (used by schedulers building demands
+  /// after lookups were already counted).
+  [[nodiscard]] bool probe(moe::ExpertId id) const { return resident_.contains(id); }
+
+  /// Make `id` resident, evicting a policy-chosen victim if full. Entries in
+  /// `do_not_evict` are treated as pinned for this call (e.g. experts the
+  /// current layer still needs). Fails — without eviction — when every
+  /// resident entry is protected.
+  InsertResult insert(moe::ExpertId id, std::span<const moe::ExpertId> do_not_evict = {});
+
+  /// Insert and pin (static placement). Throws if the cache is full of
+  /// pinned entries.
+  void insert_pinned(moe::ExpertId id);
+
+  /// Remove a specific entry (used by tests and invalidation paths).
+  bool erase(moe::ExpertId id);
+
+  /// Forward one layer's routing scores to the policy (Eq. 3 feed).
+  void update_scores(std::uint16_t layer, std::span<const float> scores,
+                     std::size_t top_k);
+
+  /// Snapshot of resident ids (unspecified order).
+  [[nodiscard]] std::vector<moe::ExpertId> residents() const;
+
+  /// The entry the policy would evict next (nullopt when nothing evictable).
+  [[nodiscard]] std::optional<moe::ExpertId> peek_victim();
+
+ private:
+  [[nodiscard]] std::vector<moe::ExpertId> evictable(
+      std::span<const moe::ExpertId> extra_protected) const;
+
+  std::size_t capacity_;
+  std::unique_ptr<CachePolicy> policy_;
+  std::unordered_set<moe::ExpertId> resident_;
+  std::unordered_set<moe::ExpertId> pinned_;
+  CacheStats stats_;
+};
+
+}  // namespace hybrimoe::cache

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file ablation.hpp
+/// Feature toggles for the Table III ablation: HybriMoE's three techniques
+/// can be enabled independently on top of the kTransformers-style baseline.
+/// All off == the paper's "Baseline"; all on == full HybriMoE.
+
+#include <string>
+
+#include "cache/mrs_policy.hpp"
+#include "core/prefetcher.hpp"
+
+namespace hybrimoe::core {
+
+struct HybriMoeConfig {
+  /// §IV-B dynamic hybrid scheduling (off: fixed mapping).
+  bool hybrid_scheduling = true;
+  /// §IV-C impact-driven prefetching (off: none).
+  bool impact_prefetching = true;
+  /// §IV-D MRS score-aware dynamic caching (off: static frequency pinning).
+  bool score_aware_caching = true;
+
+  cache::MrsPolicy::Params mrs;
+  ImpactDrivenPrefetcher::Params prefetch;
+
+  [[nodiscard]] static HybriMoeConfig full() { return {}; }
+  [[nodiscard]] static HybriMoeConfig baseline() {
+    HybriMoeConfig c;
+    c.hybrid_scheduling = c.impact_prefetching = c.score_aware_caching = false;
+    return c;
+  }
+  [[nodiscard]] static HybriMoeConfig scheduling_only() {
+    HybriMoeConfig c = baseline();
+    c.hybrid_scheduling = true;
+    return c;
+  }
+  [[nodiscard]] static HybriMoeConfig prefetching_only() {
+    HybriMoeConfig c = baseline();
+    c.impact_prefetching = true;
+    return c;
+  }
+  [[nodiscard]] static HybriMoeConfig caching_only() {
+    HybriMoeConfig c = baseline();
+    c.score_aware_caching = true;
+    return c;
+  }
+
+  [[nodiscard]] std::string label() const {
+    if (hybrid_scheduling && impact_prefetching && score_aware_caching) return "All";
+    if (!hybrid_scheduling && !impact_prefetching && !score_aware_caching)
+      return "Baseline";
+    std::string s = "Baseline";
+    if (hybrid_scheduling) s += "+Scheduling";
+    if (impact_prefetching) s += "+Prefetching";
+    if (score_aware_caching) s += "+Caching";
+    return s;
+  }
+};
+
+}  // namespace hybrimoe::core

@@ -1,0 +1,42 @@
+#include "core/warmup.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hybrimoe::core {
+
+WarmupResult run_warmup(const hw::CostModel& ground_truth,
+                        workload::TraceGenerator& generator, std::size_t warmup_steps,
+                        util::Rng& rng, double measurement_noise) {
+  HYBRIMOE_REQUIRE(warmup_steps > 0, "warmup needs at least one step");
+  WarmupResult result;
+  const auto samples =
+      hw::simulate_measurements(ground_truth, rng, /*repetitions=*/8, measurement_noise);
+  result.fitted_machine =
+      hw::fit_machine_profile(samples, ground_truth.model(), "warmup-fit");
+  const auto trace = generator.generate_decode(warmup_steps);
+  result.expert_frequencies = workload::activation_frequencies(trace, ground_truth.model());
+  return result;
+}
+
+std::vector<moe::ExpertId> hottest_experts(
+    const std::vector<std::vector<double>>& frequencies, std::size_t count) {
+  std::vector<std::pair<double, moe::ExpertId>> ranked;
+  for (std::size_t l = 0; l < frequencies.size(); ++l)
+    for (std::size_t e = 0; e < frequencies[l].size(); ++e)
+      ranked.emplace_back(frequencies[l][e],
+                          moe::ExpertId{static_cast<std::uint16_t>(l),
+                                        static_cast<std::uint16_t>(e)});
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<moe::ExpertId> out;
+  out.reserve(std::min(count, ranked.size()));
+  for (std::size_t i = 0; i < ranked.size() && out.size() < count; ++i)
+    out.push_back(ranked[i].second);
+  return out;
+}
+
+}  // namespace hybrimoe::core

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file calibration.hpp
+/// The paper's warmup phase (§IV-A): before inference, HybriMoE measures CPU
+/// and GPU processing speeds and transfer latency, then schedules against the
+/// fitted model. Here the "measurements" come from a ground-truth CostModel
+/// perturbed with multiplicative noise (tests/examples wire that up), and the
+/// fitting code reconstructs a MachineProfile from raw samples exactly as the
+/// real system would from wall-clock timings.
+
+#include <span>
+#include <vector>
+
+#include "hw/cost_model.hpp"
+#include "util/rng.hpp"
+
+namespace hybrimoe::hw {
+
+/// Ordinary least squares fit y = intercept + slope * x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+
+[[nodiscard]] LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+/// One timed expert execution at a given token load.
+struct ComputeSample {
+  std::size_t tokens = 0;
+  double seconds = 0.0;
+};
+
+/// One timed transfer of `bytes` across the link.
+struct TransferSample {
+  double bytes = 0.0;
+  double seconds = 0.0;
+};
+
+/// Raw warmup measurements for one device or link.
+struct WarmupMeasurements {
+  std::vector<ComputeSample> cpu_warm;      ///< steady-state CPU expert timings
+  std::vector<double> cpu_first_extra;      ///< first-task-minus-warm deltas
+  std::vector<double> cpu_empty_task;       ///< empty-dispatch timings (launch cost)
+  std::vector<ComputeSample> gpu_times;     ///< GPU expert timings across loads
+  std::vector<double> gpu_empty_task;       ///< GPU launch cost samples
+  std::vector<TransferSample> transfers;    ///< PCIe timings across sizes
+};
+
+/// Fits a MachineProfile from raw samples for a given model geometry
+/// (the geometry converts token counts into FLOPs/bytes).
+[[nodiscard]] MachineProfile fit_machine_profile(const WarmupMeasurements& samples,
+                                                 const moe::ModelConfig& model,
+                                                 std::string name = "calibrated");
+
+/// Produces measurements by sampling a ground-truth cost model with
+/// log-normal-ish multiplicative noise of the given relative sigma —
+/// the stand-in for running real warmup kernels.
+[[nodiscard]] WarmupMeasurements simulate_measurements(const CostModel& ground_truth,
+                                                       util::Rng& rng,
+                                                       std::size_t repetitions = 8,
+                                                       double noise = 0.03);
+
+}  // namespace hybrimoe::hw

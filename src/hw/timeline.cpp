@@ -1,0 +1,76 @@
+#include "hw/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace hybrimoe::hw {
+
+Interval Timeline::schedule(double earliest, double duration, OpKind kind,
+                            moe::ExpertId expert, std::uint32_t load) {
+  HYBRIMOE_REQUIRE(duration >= 0.0, "cannot schedule a negative duration");
+  HYBRIMOE_REQUIRE(earliest >= 0.0, "cannot schedule before time zero");
+  Interval iv;
+  iv.start = std::max(earliest, busy_until_);
+  iv.end = iv.start + duration;
+  iv.kind = kind;
+  iv.expert = expert;
+  iv.load = load;
+  busy_until_ = iv.end;
+  intervals_.push_back(iv);
+  return iv;
+}
+
+double Timeline::busy_time() const noexcept {
+  double total = 0.0;
+  for (const auto& iv : intervals_) total += iv.duration();
+  return total;
+}
+
+double Timeline::utilization(double horizon) const noexcept {
+  if (horizon <= 0.0) return 0.0;
+  return busy_time() / horizon;
+}
+
+double Timeline::idle_before(double horizon) const noexcept {
+  if (horizon <= busy_until_) return 0.0;
+  return horizon - busy_until_;
+}
+
+double TimelineSet::makespan() const noexcept {
+  return std::max({cpu.busy_until(), gpu.busy_until(), pcie.busy_until()});
+}
+
+std::string render_gantt(const TimelineSet& timelines, std::size_t width) {
+  const double horizon = timelines.makespan();
+  std::ostringstream os;
+  if (horizon <= 0.0) {
+    os << "(empty schedule)\n";
+    return os.str();
+  }
+  const double scale = static_cast<double>(width) / horizon;
+  const Timeline* rows[] = {&timelines.gpu, &timelines.pcie, &timelines.cpu};
+  for (const Timeline* row : rows) {
+    std::string lane(width, '.');
+    for (const auto& iv : row->intervals()) {
+      auto begin = static_cast<std::size_t>(std::floor(iv.start * scale));
+      auto end = static_cast<std::size_t>(std::ceil(iv.end * scale));
+      begin = std::min(begin, width - 1);
+      end = std::clamp(end, begin + 1, width);
+      // Label the box with the expert letter/number; fill with op marker.
+      const std::string label = iv.expert.to_string();
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::size_t offset = i - begin;
+        lane[i] = offset < label.size() ? label[offset] : '=';
+      }
+      if (end - begin >= 1) lane[end - 1] = '|';
+    }
+    os << to_string(row->resource()) << (row->resource() == Resource::Cpu ? "  " : "  ")
+       << lane << '\n';
+  }
+  os << "      0" << std::string(width > 14 ? width - 14 : 0, ' ') << "t="
+     << static_cast<double>(horizon) << "s\n";
+  return os.str();
+}
+
+}  // namespace hybrimoe::hw

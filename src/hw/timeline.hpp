@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file timeline.hpp
+/// Per-resource busy timelines: the data structure behind both the
+/// scheduler's greedy simulation and the "executed" Gantt charts the example
+/// programs print. One Timeline == one serially-occupied resource (the CPU
+/// expert pool, the GPU compute stream, or the PCIe copy stream).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "moe/expert_id.hpp"
+#include "util/assert.hpp"
+
+namespace hybrimoe::hw {
+
+/// The three serially-occupied resources of the hybrid system.
+enum class Resource : std::uint8_t { Cpu = 0, Gpu = 1, Pcie = 2 };
+
+[[nodiscard]] constexpr const char* to_string(Resource r) noexcept {
+  switch (r) {
+    case Resource::Cpu: return "CPU";
+    case Resource::Gpu: return "GPU";
+    case Resource::Pcie: return "PCIe";
+  }
+  return "?";
+}
+
+/// What an interval on a timeline represents.
+enum class OpKind : std::uint8_t {
+  CpuCompute,
+  GpuCompute,
+  Transfer,       ///< on-demand expert upload (critical path)
+  Prefetch,       ///< speculative upload for a future layer
+  SharedExperts,  ///< pinned shared-expert computation
+  Attention,      ///< dense attention + norms
+};
+
+[[nodiscard]] constexpr const char* to_string(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::CpuCompute: return "cpu";
+    case OpKind::GpuCompute: return "gpu";
+    case OpKind::Transfer: return "xfer";
+    case OpKind::Prefetch: return "pref";
+    case OpKind::SharedExperts: return "shared";
+    case OpKind::Attention: return "attn";
+  }
+  return "?";
+}
+
+/// A half-open busy interval [start, end) tagged with its operation.
+struct Interval {
+  double start = 0.0;
+  double end = 0.0;
+  OpKind kind = OpKind::CpuCompute;
+  moe::ExpertId expert;  ///< meaningful for expert ops; zero otherwise
+  std::uint32_t load = 0;
+
+  [[nodiscard]] double duration() const noexcept { return end - start; }
+};
+
+/// Append-only busy timeline for one resource.
+class Timeline {
+ public:
+  explicit Timeline(Resource resource) : resource_(resource) {}
+
+  [[nodiscard]] Resource resource() const noexcept { return resource_; }
+  [[nodiscard]] double busy_until() const noexcept { return busy_until_; }
+  [[nodiscard]] const std::vector<Interval>& intervals() const noexcept {
+    return intervals_;
+  }
+
+  /// Schedule a task that may start no earlier than `earliest`; it begins at
+  /// max(earliest, busy_until). Returns the scheduled interval.
+  Interval schedule(double earliest, double duration, OpKind kind,
+                    moe::ExpertId expert = {}, std::uint32_t load = 0);
+
+  /// Total busy seconds.
+  [[nodiscard]] double busy_time() const noexcept;
+  /// busy / horizon (0 if the horizon is empty).
+  [[nodiscard]] double utilization(double horizon) const noexcept;
+  /// Idle time before `horizon` (the budget the prefetcher spends on PCIe).
+  [[nodiscard]] double idle_before(double horizon) const noexcept;
+
+  void clear() noexcept {
+    busy_until_ = 0.0;
+    intervals_.clear();
+  }
+
+ private:
+  Resource resource_;
+  double busy_until_ = 0.0;
+  std::vector<Interval> intervals_;
+};
+
+/// Fixed-size bundle of the three resource timelines.
+struct TimelineSet {
+  Timeline cpu{Resource::Cpu};
+  Timeline gpu{Resource::Gpu};
+  Timeline pcie{Resource::Pcie};
+
+  [[nodiscard]] Timeline& of(Resource r) {
+    switch (r) {
+      case Resource::Cpu: return cpu;
+      case Resource::Gpu: return gpu;
+      case Resource::Pcie: return pcie;
+    }
+    HYBRIMOE_ASSERT(false, "unknown resource");
+  }
+
+  [[nodiscard]] double makespan() const noexcept;
+  void clear() noexcept {
+    cpu.clear();
+    gpu.clear();
+    pcie.clear();
+  }
+};
+
+/// Render a fixed-width ASCII Gantt chart of the three timelines
+/// (used by examples/schedule_trace to reproduce the paper's Fig. 5).
+[[nodiscard]] std::string render_gantt(const TimelineSet& timelines, std::size_t width = 72);
+
+}  // namespace hybrimoe::hw

@@ -1,0 +1,38 @@
+#include "kernels/expert.hpp"
+
+#include "kernels/ops.hpp"
+
+namespace hybrimoe::kernels {
+
+ExpertWeights ExpertWeights::random(util::Rng& rng, std::size_t d_model, std::size_t d_ff) {
+  ExpertWeights w;
+  w.gate = Tensor::randn(rng, d_ff, d_model);
+  w.up = Tensor::randn(rng, d_ff, d_model);
+  w.down = Tensor::randn(rng, d_model, d_ff);
+  return w;
+}
+
+std::vector<float> expert_forward(const ExpertWeights& w, std::span<const float> x) {
+  HYBRIMOE_REQUIRE(x.size() == w.d_model(), "expert_forward dimension mismatch");
+  const auto gate = gemv(w.gate, x);
+  const auto up = gemv(w.up, x);
+  std::vector<float> hidden(gate.size());
+  swiglu_combine(gate, up, hidden);
+  return gemv(w.down, hidden);
+}
+
+QuantizedExpert::QuantizedExpert(const ExpertWeights& dense)
+    : gate_(QuantizedMatrix::quantize(dense.gate)),
+      up_(QuantizedMatrix::quantize(dense.up)),
+      down_(QuantizedMatrix::quantize(dense.down)) {}
+
+std::vector<float> QuantizedExpert::forward(std::span<const float> x) const {
+  HYBRIMOE_REQUIRE(x.size() == d_model(), "QuantizedExpert::forward dimension mismatch");
+  const auto gate = gate_.gemv(x);
+  const auto up = up_.gemv(x);
+  std::vector<float> hidden(gate.size());
+  swiglu_combine(gate, up, hidden);
+  return down_.gemv(hidden);
+}
+
+}  // namespace hybrimoe::kernels

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file expert.hpp
+/// A SwiGLU expert FFN — the unit of work every scheduler in this repository
+/// moves between devices. Dense (fp32) and Q4-quantized variants share the
+/// same forward semantics:
+///
+///   y = W_down( SiLU(W_gate x) ⊙ (W_up x) )
+///
+/// which is the expert structure of Mixtral, Qwen2 and DeepSeek alike.
+
+#include <span>
+#include <vector>
+
+#include "kernels/quant.hpp"
+#include "kernels/tensor.hpp"
+
+namespace hybrimoe::kernels {
+
+/// Dense expert weights: gate/up are [d_ff x d_model], down is [d_model x d_ff].
+struct ExpertWeights {
+  Tensor gate;
+  Tensor up;
+  Tensor down;
+
+  /// Random expert with fan-in init.
+  [[nodiscard]] static ExpertWeights random(util::Rng& rng, std::size_t d_model,
+                                            std::size_t d_ff);
+
+  [[nodiscard]] std::size_t d_model() const noexcept { return gate.cols(); }
+  [[nodiscard]] std::size_t d_ff() const noexcept { return gate.rows(); }
+
+  /// fp32 storage footprint.
+  [[nodiscard]] std::size_t dense_bytes() const noexcept {
+    return (gate.size() + up.size() + down.size()) * sizeof(float);
+  }
+};
+
+/// Forward pass through a dense expert.
+[[nodiscard]] std::vector<float> expert_forward(const ExpertWeights& w,
+                                                std::span<const float> x);
+
+/// Q4-quantized expert: same forward contract, ~8x smaller weights.
+class QuantizedExpert {
+ public:
+  QuantizedExpert() = default;
+  explicit QuantizedExpert(const ExpertWeights& dense);
+
+  [[nodiscard]] std::vector<float> forward(std::span<const float> x) const;
+
+  [[nodiscard]] std::size_t storage_bytes() const noexcept {
+    return gate_.storage_bytes() + up_.storage_bytes() + down_.storage_bytes();
+  }
+  [[nodiscard]] std::size_t d_model() const noexcept { return gate_.cols(); }
+  [[nodiscard]] std::size_t d_ff() const noexcept { return gate_.rows(); }
+
+ private:
+  QuantizedMatrix gate_;
+  QuantizedMatrix up_;
+  QuantizedMatrix down_;
+};
+
+}  // namespace hybrimoe::kernels

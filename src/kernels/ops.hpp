@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file ops.hpp
+/// Dense primitives for the functional MoE path: GEMV/GEMM, softmax, top-k,
+/// SiLU/SwiGLU and RMSNorm — the same operator set an expert FFN layer needs
+/// in llama.cpp-style inference, at reproduction scale.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/tensor.hpp"
+
+namespace hybrimoe::kernels {
+
+/// y = W * x, with W of shape [m x n] and x of length n.
+[[nodiscard]] std::vector<float> gemv(const Tensor& w, std::span<const float> x);
+
+/// C = A * B with A [m x k], B [k x n].
+[[nodiscard]] Tensor gemm(const Tensor& a, const Tensor& b);
+
+/// Numerically stable in-place softmax.
+void softmax_inplace(std::span<float> values);
+
+/// Numerically stable softmax over only the given indices of `values`
+/// (the renormalised routing weights of Eq. 1); returns one weight per index.
+[[nodiscard]] std::vector<float> softmax_over(std::span<const float> values,
+                                              std::span<const std::uint32_t> indices);
+
+/// Indices of the k largest values, ordered by descending value
+/// (ties broken by lower index, which keeps routing deterministic).
+[[nodiscard]] std::vector<std::uint32_t> topk_indices(std::span<const float> values,
+                                                      std::size_t k);
+
+/// x * sigmoid(x), applied elementwise in place.
+void silu_inplace(std::span<float> values);
+
+/// out[i] = silu(gate[i]) * up[i]; spans must have equal length.
+void swiglu_combine(std::span<const float> gate, std::span<const float> up,
+                    std::span<float> out);
+
+/// RMSNorm with unit gain: x / sqrt(mean(x^2) + eps).
+void rmsnorm_inplace(std::span<float> values, float eps = 1e-6f);
+
+/// Euclidean norm.
+[[nodiscard]] double l2_norm(std::span<const float> values) noexcept;
+
+/// Max absolute elementwise difference between two equal-length spans.
+[[nodiscard]] double max_abs_diff(std::span<const float> a, std::span<const float> b);
+
+}  // namespace hybrimoe::kernels

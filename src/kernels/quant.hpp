@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file quant.hpp
+/// 4-bit block quantization in the style of llama.cpp's Q4_0 / the Marlin
+/// kernels the paper builds on (§V): values are grouped into blocks of 32,
+/// each block stores one fp32 scale and 32 unsigned 4-bit codes centred at 8.
+///
+/// The scheduling system uses this only to size experts (bytes-per-expert at
+/// 4-bit feeds the cost model); the functional path uses it to run real
+/// quantized expert math and to bound quantization error in tests.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/tensor.hpp"
+
+namespace hybrimoe::kernels {
+
+/// One Q4 block: 32 values packed as 16 bytes plus an fp32 scale.
+struct Q4Block {
+  static constexpr std::size_t kValues = 32;
+  float scale = 0.0f;
+  std::array<std::uint8_t, kValues / 2> packed{};
+};
+
+/// Bytes used to store `count` values in Q4 blocks (includes scales).
+[[nodiscard]] constexpr std::size_t q4_storage_bytes(std::size_t count) noexcept {
+  const std::size_t blocks = (count + Q4Block::kValues - 1) / Q4Block::kValues;
+  return blocks * (sizeof(float) + Q4Block::kValues / 2);
+}
+
+/// Effective bits per value of the Q4 format (4 bits + amortised scale).
+[[nodiscard]] constexpr double q4_bits_per_value() noexcept {
+  return (sizeof(float) * 8.0 + Q4Block::kValues * 4.0) / Q4Block::kValues;
+}
+
+/// Row-major matrix stored in Q4 blocks; rows are padded to a whole block.
+class QuantizedMatrix {
+ public:
+  QuantizedMatrix() = default;
+
+  /// Quantize a dense matrix row-by-row.
+  [[nodiscard]] static QuantizedMatrix quantize(const Tensor& dense);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t storage_bytes() const noexcept {
+    return blocks_.size() * (sizeof(float) + Q4Block::kValues / 2);
+  }
+
+  /// Reconstruct the dense matrix (padding trimmed).
+  [[nodiscard]] Tensor dequantize() const;
+
+  /// y = W * x computed directly on quantized blocks.
+  [[nodiscard]] std::vector<float> gemv(std::span<const float> x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t blocks_per_row_ = 0;
+  std::vector<Q4Block> blocks_;
+};
+
+/// Quantize a single span into blocks (exposed for tests).
+[[nodiscard]] std::vector<Q4Block> q4_quantize_row(std::span<const float> values);
+
+/// Reconstruct `count` values from blocks (exposed for tests).
+[[nodiscard]] std::vector<float> q4_dequantize_row(std::span<const Q4Block> blocks,
+                                                   std::size_t count);
+
+/// Worst-case absolute error of Q4 on a span with max-abs `amax`. Interior
+/// values round to within half a step (scale/2), but the asymmetric code
+/// range [-8, 7] clamps +amax to 7*scale — a full-step error of amax/8.
+[[nodiscard]] constexpr double q4_error_bound(double amax) noexcept {
+  return amax / 8.0 * 1.0001 + 1e-7;
+}
+
+}  // namespace hybrimoe::kernels

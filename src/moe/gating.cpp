@@ -1,0 +1,38 @@
+#include "moe/gating.hpp"
+
+#include <cmath>
+
+#include "kernels/ops.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace hybrimoe::moe {
+
+GateSet::GateSet(const ModelConfig& config, std::size_t d_latent, std::uint64_t seed)
+    : d_latent_(d_latent), num_experts_(config.num_routed_experts) {
+  HYBRIMOE_REQUIRE(d_latent > 0, "d_latent must be positive");
+  config.validate();
+  util::Rng rng(seed);
+  gates_.reserve(config.num_layers);
+  for (std::size_t l = 0; l < config.num_layers; ++l) {
+    // Unit-variance rows: logits on a unit-norm hidden state are O(1), which
+    // keeps softmax temperatures comparable across d_latent choices.
+    gates_.push_back(kernels::Tensor::randn(rng, num_experts_, d_latent,
+                                            1.0 / std::sqrt(static_cast<double>(d_latent))));
+  }
+}
+
+std::vector<float> GateSet::logits(std::size_t layer, std::span<const float> h,
+                                   double temperature) const {
+  HYBRIMOE_REQUIRE(layer < gates_.size(), "gate layer out of range");
+  HYBRIMOE_REQUIRE(h.size() == d_latent_, "hidden state dimension mismatch");
+  HYBRIMOE_REQUIRE(temperature > 0.0, "temperature must be positive");
+  auto out = kernels::gemv(gates_[layer], h);
+  if (temperature != 1.0) {
+    const auto inv = static_cast<float>(1.0 / temperature);
+    for (float& v : out) v *= inv;
+  }
+  return out;
+}
+
+}  // namespace hybrimoe::moe

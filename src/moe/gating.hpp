@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file gating.hpp
+/// Per-layer gate networks. Each layer owns a fixed random projection from a
+/// latent hidden-state space to expert logits; because LLM residual streams
+/// drift slowly across layers, evaluating layer l's gate on an *earlier*
+/// hidden state approximates layer l's eventual routing — exactly the signal
+/// the paper's impact-driven prefetcher exploits (§IV-C, Fig. 6).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "kernels/tensor.hpp"
+#include "moe/model_config.hpp"
+
+namespace hybrimoe::moe {
+
+/// The gate matrices of every layer of one model instance.
+class GateSet {
+ public:
+  /// Deterministically initialised from `seed`; `d_latent` is the dimension of
+  /// the synthetic hidden-state space (small on purpose — gate statistics, not
+  /// model quality, are what matters here).
+  GateSet(const ModelConfig& config, std::size_t d_latent, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t d_latent() const noexcept { return d_latent_; }
+  [[nodiscard]] std::size_t num_layers() const noexcept { return gates_.size(); }
+  [[nodiscard]] std::size_t num_experts() const noexcept { return num_experts_; }
+
+  /// Expert logits of `layer`'s gate evaluated on hidden state `h`.
+  /// `temperature` sharpens (<1) or flattens (>1) the distribution.
+  [[nodiscard]] std::vector<float> logits(std::size_t layer, std::span<const float> h,
+                                          double temperature = 1.0) const;
+
+ private:
+  std::size_t d_latent_;
+  std::size_t num_experts_;
+  std::vector<kernels::Tensor> gates_;  ///< one [num_experts x d_latent] per layer
+};
+
+}  // namespace hybrimoe::moe

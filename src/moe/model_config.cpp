@@ -1,0 +1,76 @@
+#include "moe/model_config.hpp"
+
+#include "util/assert.hpp"
+
+namespace hybrimoe::moe {
+
+void ModelConfig::validate() const {
+  HYBRIMOE_REQUIRE(!name.empty(), "model name must be set");
+  HYBRIMOE_REQUIRE(num_layers > 0, "model must have at least one layer");
+  HYBRIMOE_REQUIRE(num_routed_experts > 0, "model must have routed experts");
+  HYBRIMOE_REQUIRE(top_k > 0 && top_k <= num_routed_experts,
+                   "top_k must be in [1, num_routed_experts]");
+  HYBRIMOE_REQUIRE(routed.valid(), "routed expert shape must be set");
+  HYBRIMOE_REQUIRE(num_shared_experts == 0 || shared.valid(),
+                   "shared expert shape must be set when shared experts exist");
+  HYBRIMOE_REQUIRE(bits_per_weight > 0.0 && bits_per_weight <= 32.0,
+                   "bits_per_weight out of range");
+}
+
+ModelConfig ModelConfig::mixtral() {
+  ModelConfig c;
+  c.name = "Mixtral";
+  c.num_layers = 32;
+  c.num_shared_experts = 0;
+  c.num_routed_experts = 8;
+  c.top_k = 2;
+  c.routed = {4096, 14336};
+  c.shared = {};
+  return c;
+}
+
+ModelConfig ModelConfig::qwen2() {
+  ModelConfig c;
+  c.name = "Qwen2";
+  c.num_layers = 28;
+  c.num_shared_experts = 1;
+  c.num_routed_experts = 64;
+  c.top_k = 8;
+  c.routed = {3584, 18944};  // as published in Table II
+  c.shared = {3584, 20480};
+  return c;
+}
+
+ModelConfig ModelConfig::deepseek() {
+  ModelConfig c;
+  c.name = "DeepSeek";
+  c.num_layers = 26;
+  c.num_shared_experts = 2;
+  c.num_routed_experts = 64;
+  c.top_k = 6;
+  c.routed = {2048, 1408};
+  c.shared = {2048, 1408};
+  return c;
+}
+
+ModelConfig ModelConfig::tiny(std::size_t layers, std::size_t experts, std::size_t top_k,
+                              std::size_t d_model, std::size_t d_ff) {
+  ModelConfig c;
+  c.name = "Tiny";
+  c.num_layers = layers;
+  c.num_shared_experts = 1;
+  c.num_routed_experts = experts;
+  c.top_k = top_k;
+  c.routed = {d_model, d_ff};
+  c.shared = {d_model, d_ff};
+  c.validate();
+  return c;
+}
+
+const std::array<ModelConfig, 3>& paper_models() {
+  static const std::array<ModelConfig, 3> models = {
+      ModelConfig::mixtral(), ModelConfig::qwen2(), ModelConfig::deepseek()};
+  return models;
+}
+
+}  // namespace hybrimoe::moe

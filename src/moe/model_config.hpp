@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file model_config.hpp
+/// Static description of an MoE model — exactly the quantities the paper's
+/// Table II publishes and the cost model consumes: layer count, shared/routed
+/// expert counts, top-k, and per-expert matrix shapes.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hybrimoe::moe {
+
+/// Geometry of one expert FFN: three [d_model x d_ff]-sized projections
+/// (gate, up, down) as in SwiGLU experts.
+struct ExpertShape {
+  std::size_t d_model = 0;
+  std::size_t d_ff = 0;
+
+  /// Parameter count of the three projection matrices.
+  [[nodiscard]] constexpr std::size_t params() const noexcept {
+    return 3 * d_model * d_ff;
+  }
+  /// Weight bytes at `bits_per_weight` bits (default 4-bit + scales, as with
+  /// the Marlin / Q4 kernels the paper deploys).
+  [[nodiscard]] constexpr std::size_t bytes(double bits_per_weight) const noexcept {
+    return static_cast<std::size_t>(static_cast<double>(params()) * bits_per_weight / 8.0);
+  }
+  /// FLOPs to push `tokens` tokens through the expert (2 flops per MAC).
+  [[nodiscard]] constexpr double flops(std::size_t tokens) const noexcept {
+    return 2.0 * static_cast<double>(params()) * static_cast<double>(tokens);
+  }
+  [[nodiscard]] constexpr bool valid() const noexcept { return d_model > 0 && d_ff > 0; }
+};
+
+/// Full model description (paper Table II).
+struct ModelConfig {
+  std::string name;
+  std::size_t num_layers = 0;
+  std::size_t num_shared_experts = 0;
+  std::size_t num_routed_experts = 0;
+  std::size_t top_k = 0;  ///< routed experts activated per token
+  ExpertShape routed;
+  ExpertShape shared;  ///< zero-initialised when the model has no shared experts
+  /// Effective stored bits per weight. Q4 blocks carry an fp32 scale per 32
+  /// values, i.e. 4 + 32/32 = 4.25 effective bits (kernels::q4_bits_per_value).
+  double bits_per_weight = 4.25;
+
+  [[nodiscard]] std::size_t total_routed_experts() const noexcept {
+    return num_layers * num_routed_experts;
+  }
+  [[nodiscard]] std::size_t routed_expert_bytes() const noexcept {
+    return routed.bytes(bits_per_weight);
+  }
+  [[nodiscard]] std::size_t shared_expert_bytes() const noexcept {
+    return shared.valid() ? shared.bytes(bits_per_weight) : 0;
+  }
+  /// FLOPs of the dense (attention + norms) part per token per layer; the
+  /// standard 4 d^2 projection cost with d = routed.d_model.
+  [[nodiscard]] double attention_flops_per_token() const noexcept {
+    const auto d = static_cast<double>(routed.d_model);
+    return 2.0 * 4.0 * d * d;
+  }
+  /// Bytes of the attention projections per layer at `bits_per_weight`.
+  [[nodiscard]] std::size_t attention_bytes() const noexcept {
+    const auto d = static_cast<double>(routed.d_model);
+    return static_cast<std::size_t>(4.0 * d * d * bits_per_weight / 8.0);
+  }
+
+  /// Throws std::invalid_argument when structurally inconsistent.
+  void validate() const;
+
+  // ---- Table II presets -------------------------------------------------
+  /// Mixtral-8x7B-Instruct: 32 layers, 8 routed / 2 active, no shared expert.
+  [[nodiscard]] static ModelConfig mixtral();
+  /// Qwen2-57B-A14B-Instruct: 28 layers, 64 routed / 8 active, 1 shared.
+  [[nodiscard]] static ModelConfig qwen2();
+  /// DeepSeek-V2-Lite-Chat: 26 layers, 64 routed / 6 active, 2 shared.
+  [[nodiscard]] static ModelConfig deepseek();
+  /// Small synthetic model for tests and the functional runner.
+  [[nodiscard]] static ModelConfig tiny(std::size_t layers = 4,
+                                        std::size_t experts = 8,
+                                        std::size_t top_k = 2,
+                                        std::size_t d_model = 32,
+                                        std::size_t d_ff = 64);
+};
+
+/// All three evaluated models in paper order.
+[[nodiscard]] const std::array<ModelConfig, 3>& paper_models();
+
+}  // namespace hybrimoe::moe

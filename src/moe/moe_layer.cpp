@@ -1,0 +1,60 @@
+#include "moe/moe_layer.hpp"
+
+#include "kernels/ops.hpp"
+
+namespace hybrimoe::moe {
+
+MoeLayer::MoeLayer(util::Rng& rng, std::size_t num_experts, std::size_t top_k,
+                   std::size_t d_model, std::size_t d_ff, std::size_t num_shared,
+                   bool quantized)
+    : router_(num_experts, top_k),
+      gate_(kernels::Tensor::randn(rng, num_experts, d_model)),
+      quantized_(quantized) {
+  experts_.reserve(num_experts);
+  for (std::size_t e = 0; e < num_experts; ++e)
+    experts_.push_back(kernels::ExpertWeights::random(rng, d_model, d_ff));
+  if (quantized_) {
+    quantized_experts_.reserve(num_experts);
+    for (const auto& w : experts_) quantized_experts_.emplace_back(w);
+  }
+  shared_.reserve(num_shared);
+  for (std::size_t s = 0; s < num_shared; ++s)
+    shared_.push_back(kernels::ExpertWeights::random(rng, d_model, d_ff));
+}
+
+std::vector<float> MoeLayer::gate_logits(std::span<const float> x) const {
+  return kernels::gemv(gate_, x);
+}
+
+TokenRouting MoeLayer::route(std::span<const float> x) const {
+  return router_.route_token(gate_logits(x));
+}
+
+std::vector<float> MoeLayer::expert_output(std::size_t expert,
+                                           std::span<const float> x) const {
+  HYBRIMOE_REQUIRE(expert < experts_.size(), "expert index out of range");
+  if (quantized_) return quantized_experts_[expert].forward(x);
+  return kernels::expert_forward(experts_[expert], x);
+}
+
+std::vector<float> MoeLayer::forward_with_routing(std::span<const float> x,
+                                                  const TokenRouting& routing) const {
+  HYBRIMOE_REQUIRE(routing.experts.size() == routing.weights.size(),
+                   "routing experts/weights length mismatch");
+  std::vector<float> y(x.size(), 0.0f);
+  for (std::size_t k = 0; k < routing.experts.size(); ++k) {
+    const auto out = expert_output(routing.experts[k], x);
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] += routing.weights[k] * out[i];
+  }
+  for (const auto& s : shared_) {
+    const auto out = kernels::expert_forward(s, x);
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] += out[i];
+  }
+  return y;
+}
+
+std::vector<float> MoeLayer::forward(std::span<const float> x) const {
+  return forward_with_routing(x, route(x));
+}
+
+}  // namespace hybrimoe::moe

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file moe_layer.hpp
+/// Functional MoE layer (Eq. 1) for small-scale end-to-end verification:
+/// a real gate, real SwiGLU experts (dense or Q4-quantized) and shared
+/// experts added unconditionally. The offloading engines never run this —
+/// they run the cost model — but tests use it to prove that every scheduler's
+/// expert partitioning computes exactly the same function as a reference
+/// single-device forward.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "kernels/expert.hpp"
+#include "moe/router.hpp"
+
+namespace hybrimoe::moe {
+
+/// One functional MoE block: router + routed experts + shared experts.
+class MoeLayer {
+ public:
+  /// Builds random experts and a random gate; deterministic in `rng`.
+  MoeLayer(util::Rng& rng, std::size_t num_experts, std::size_t top_k,
+           std::size_t d_model, std::size_t d_ff, std::size_t num_shared = 0,
+           bool quantized = false);
+
+  [[nodiscard]] std::size_t num_experts() const noexcept { return experts_.size(); }
+  [[nodiscard]] std::size_t d_model() const noexcept { return gate_.cols(); }
+
+  /// Gate logits for an input vector.
+  [[nodiscard]] std::vector<float> gate_logits(std::span<const float> x) const;
+
+  /// Per-token routing decision.
+  [[nodiscard]] TokenRouting route(std::span<const float> x) const;
+
+  /// Reference forward: y = sum_k w_k E_k(x) + sum_shared S_j(x).
+  [[nodiscard]] std::vector<float> forward(std::span<const float> x) const;
+
+  /// Forward with an externally supplied routing — lets tests replay the same
+  /// token through an arbitrary expert partition (e.g. the subset a scheduler
+  /// assigned to "CPU") and check the combined result matches forward().
+  [[nodiscard]] std::vector<float> forward_with_routing(std::span<const float> x,
+                                                        const TokenRouting& routing) const;
+
+  /// Output of a single routed expert (no gate weighting).
+  [[nodiscard]] std::vector<float> expert_output(std::size_t expert,
+                                                 std::span<const float> x) const;
+
+ private:
+  Router router_;
+  kernels::Tensor gate_;  ///< [num_experts x d_model]
+  std::vector<kernels::ExpertWeights> experts_;
+  std::vector<kernels::QuantizedExpert> quantized_experts_;
+  std::vector<kernels::ExpertWeights> shared_;
+  bool quantized_ = false;
+};
+
+}  // namespace hybrimoe::moe

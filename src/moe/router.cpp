@@ -1,0 +1,62 @@
+#include "moe/router.hpp"
+
+#include <algorithm>
+
+#include "kernels/ops.hpp"
+
+namespace hybrimoe::moe {
+
+std::vector<std::uint32_t> LayerRouting::activated() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t e = 0; e < loads.size(); ++e)
+    if (loads[e] > 0) out.push_back(e);
+  return out;
+}
+
+std::size_t LayerRouting::activated_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(loads.begin(), loads.end(), [](std::uint32_t l) { return l > 0; }));
+}
+
+Router::Router(std::size_t num_experts, std::size_t top_k)
+    : num_experts_(num_experts), top_k_(top_k) {
+  HYBRIMOE_REQUIRE(num_experts > 0, "router needs at least one expert");
+  HYBRIMOE_REQUIRE(top_k > 0 && top_k <= num_experts, "top_k out of range");
+}
+
+TokenRouting Router::route_token(std::span<const float> logits) const {
+  HYBRIMOE_REQUIRE(logits.size() == num_experts_, "router logits size mismatch");
+  TokenRouting r;
+  r.experts = kernels::topk_indices(logits, top_k_);
+  r.weights = kernels::softmax_over(logits, r.experts);
+  return r;
+}
+
+std::vector<float> Router::full_scores(std::span<const float> logits) const {
+  HYBRIMOE_REQUIRE(logits.size() == num_experts_, "router logits size mismatch");
+  std::vector<float> scores(logits.begin(), logits.end());
+  kernels::softmax_inplace(scores);
+  return scores;
+}
+
+LayerRouting Router::route_batch(std::span<const float> logits, std::size_t tokens) const {
+  HYBRIMOE_REQUIRE(tokens > 0, "route_batch requires at least one token");
+  HYBRIMOE_REQUIRE(logits.size() == tokens * num_experts_,
+                   "route_batch logits size mismatch");
+  LayerRouting out;
+  out.loads.assign(num_experts_, 0);
+  out.scores.assign(num_experts_, 0.0f);
+  out.total_tokens = tokens;
+  for (std::size_t t = 0; t < tokens; ++t) {
+    const auto row = logits.subspan(t * num_experts_, num_experts_);
+    const auto routing = route_token(row);
+    for (const auto e : routing.experts) ++out.loads[e];
+    const auto scores = full_scores(row);
+    for (std::size_t e = 0; e < num_experts_; ++e) out.scores[e] += scores[e];
+  }
+  const auto inv = 1.0f / static_cast<float>(tokens);
+  for (float& s : out.scores) s *= inv;
+  return out;
+}
+
+}  // namespace hybrimoe::moe

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file router.hpp
+/// Gating math of Eq. 1: per-token top-k selection with softmax-renormalised
+/// weights, plus the batch-level aggregates (per-expert loads, full softmax
+/// scores) that the schedulers and the MRS cache consume.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace hybrimoe::moe {
+
+/// Routing of a single token: the chosen experts and their combine weights.
+struct TokenRouting {
+  std::vector<std::uint32_t> experts;  ///< top-k expert indices, score-descending
+  std::vector<float> weights;          ///< softmax over the selected logits
+};
+
+/// Aggregate routing of one layer over a token batch.
+struct LayerRouting {
+  std::vector<std::uint32_t> loads;  ///< tokens assigned to each expert (size = N)
+  std::vector<float> scores;         ///< batch-mean full softmax over experts (size = N)
+  std::size_t total_tokens = 0;
+
+  /// Experts with a non-zero load.
+  [[nodiscard]] std::vector<std::uint32_t> activated() const;
+  /// Number of experts with a non-zero load.
+  [[nodiscard]] std::size_t activated_count() const noexcept;
+};
+
+/// Stateless top-k router over expert logits.
+class Router {
+ public:
+  Router(std::size_t num_experts, std::size_t top_k);
+
+  [[nodiscard]] std::size_t num_experts() const noexcept { return num_experts_; }
+  [[nodiscard]] std::size_t top_k() const noexcept { return top_k_; }
+
+  /// Route one token given its gate logits.
+  [[nodiscard]] TokenRouting route_token(std::span<const float> logits) const;
+
+  /// Full softmax over all expert logits (the score vector `s` of Eq. 3).
+  [[nodiscard]] std::vector<float> full_scores(std::span<const float> logits) const;
+
+  /// Aggregate a batch of per-token logits into loads + mean scores.
+  /// `logits` holds `tokens` contiguous rows of `num_experts` values.
+  [[nodiscard]] LayerRouting route_batch(std::span<const float> logits,
+                                         std::size_t tokens) const;
+
+ private:
+  std::size_t num_experts_;
+  std::size_t top_k_;
+};
+
+}  // namespace hybrimoe::moe

@@ -1,0 +1,196 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hybrimoe::runtime {
+
+OffloadEngine::OffloadEngine(EngineComponents components, const hw::CostModel& costs)
+    : components_(std::move(components)), costs_(costs) {
+  HYBRIMOE_REQUIRE(components_.scheduler != nullptr, "engine requires a scheduler");
+  HYBRIMOE_REQUIRE(components_.cache != nullptr, "engine requires a cache");
+  HYBRIMOE_REQUIRE(!components_.name.empty(), "engine requires a name");
+}
+
+void OffloadEngine::seed_cache(std::span<const moe::ExpertId> experts, bool pinned) {
+  for (const auto& id : experts) {
+    if (components_.cache->full()) break;
+    if (pinned) {
+      components_.cache->insert_pinned(id);
+    } else {
+      (void)components_.cache->insert(id);
+    }
+  }
+}
+
+double OffloadEngine::run_forward(const workload::ForwardTrace& forward,
+                                  sched::Stage stage, StageMetrics& metrics) {
+  const auto& model = costs_.model();
+  HYBRIMOE_REQUIRE(forward.num_layers() == model.num_layers,
+                   "trace layer count does not match the model");
+  HYBRIMOE_REQUIRE(forward.tokens > 0, "forward pass with no tokens");
+
+  auto& cache = *components_.cache;
+  const double xfer = costs_.transfer_time();
+  double latency = 0.0;
+  // PCIe work (prefetches) still in flight when a layer ends spills into the
+  // next layer's link occupancy — the link is asynchronous across layers.
+  double pcie_carry = 0.0;
+
+  // During prefill every layer is visited exactly once, so streamed experts
+  // go to transient GPU buffers: on-demand uploads are discarded after use
+  // and prefetched experts live only until their target layer consumes them.
+  // Inserting them into the cache would churn out seeded entries of upcoming
+  // layers for zero reuse (the reason the paper's Table III has no prefill
+  // "+Caching" row). Decode inserts into the managed cache as usual.
+  const bool is_prefill = stage == sched::Stage::Prefill;
+  std::unordered_set<moe::ExpertId> transient;
+  std::size_t transient_hits = 0;
+
+  for (std::size_t l = 0; l < forward.num_layers(); ++l) {
+    const auto layer = static_cast<std::uint16_t>(l);
+    const moe::LayerRouting& routing = forward.layers[l];
+
+    // Dense part: attention + shared experts, resident on the GPU. The
+    // routed phase overlaps it — the CPU starts misses and PCIe starts
+    // transfers while the GPU finishes the dense work (Fig. 5's "Shared
+    // Expert" block), so it enters the plan as the GPU start offset.
+    const double t_attn = costs_.attention_time(forward.tokens);
+    const double t_shared = costs_.shared_experts_time(forward.tokens);
+    const double dense = t_attn + t_shared;
+    metrics.attention_time += t_attn;
+    metrics.shared_time += t_shared;
+    latency += costs_.layer_overhead() + components_.per_layer_overhead;
+
+    // Score feed (Eq. 3 input) before this layer's lookups, mirroring the
+    // real pipeline: the gate runs first, then cache decisions are made.
+    if (components_.update_policy_scores)
+      cache.update_scores(layer, routing.scores, model.top_k);
+
+    // Cache lookups for the activated experts, then the demands.
+    std::vector<sched::ExpertDemand> demands;
+    std::vector<moe::ExpertId> activated_ids;
+    for (std::uint32_t e = 0; e < routing.loads.size(); ++e) {
+      if (routing.loads[e] == 0) continue;
+      const moe::ExpertId id{layer, static_cast<std::uint16_t>(e)};
+      bool hit;
+      if (transient.erase(id) > 0) {  // consumed prefetch buffer
+        hit = true;
+        ++transient_hits;
+      } else {
+        hit = cache.lookup(id);
+      }
+      demands.push_back({static_cast<std::uint16_t>(e), routing.loads[e], hit});
+      activated_ids.push_back(id);
+    }
+    if (demands.empty()) {
+      latency += dense;
+      pcie_carry = std::max(0.0, pcie_carry - dense);
+      continue;
+    }
+
+    const sched::LayerPlan plan =
+        components_.scheduler->schedule(layer, stage, demands, costs_, dense, pcie_carry);
+    latency += plan.makespan;  // includes the dense phase (gpu_offset)
+    metrics.moe_time += plan.makespan - dense;
+    metrics.cpu_busy += plan.cpu_busy;
+    metrics.gpu_busy += plan.gpu_busy;
+    metrics.pcie_busy += plan.pcie_busy;
+
+    // On-demand transfers become residents (policy-managed admission) in
+    // decode; prefill streams them through transient buffers.
+    const auto transferred = plan.transferred_experts();
+    metrics.transfers += transferred.size();
+    if (components_.dynamic_cache_inserts && !is_prefill) {
+      for (const auto& id : transferred) (void)cache.insert(id, activated_ids);
+    }
+
+    // Speculative uploads may *start* any time the link is free before the
+    // layer ends; the last one may still be in flight when the next layer
+    // begins (pcie_carry). Each started transfer occupies the link for one
+    // expert-transfer time.
+    double pcie_cursor = plan.pcie_end;
+
+    // Impact-driven (or baseline) prefetching for upcoming layers.
+    if (components_.prefetcher != nullptr && components_.dynamic_cache_inserts) {
+      const auto decisions = components_.prefetcher->plan(
+          forward, l, stage, cache, costs_, plan.makespan - pcie_cursor, &transient);
+      for (const auto& d : decisions) {
+        const bool uploaded =
+            is_prefill ? transient.insert(d.expert).second : cache.insert(d.expert).inserted;
+        if (uploaded) {
+          ++metrics.prefetches;
+          metrics.pcie_busy += xfer;
+          pcie_cursor += xfer;
+        }
+      }
+    }
+
+    // Score-driven maintenance: retain this layer's missed high-priority
+    // experts for the next iteration while the link is still idle. This is
+    // an inter-iteration technique — meaningless within one prefill forward.
+    if (components_.cache_maintenance && components_.dynamic_cache_inserts &&
+        !is_prefill) {
+      std::vector<moe::ExpertId> missed;
+      for (std::size_t i = 0; i < demands.size(); ++i)
+        if (!demands[i].cached && !cache.probe(activated_ids[i]))
+          missed.push_back(activated_ids[i]);
+      std::sort(missed.begin(), missed.end(), [&](moe::ExpertId a, moe::ExpertId b) {
+        return cache.policy().priority(a) > cache.policy().priority(b);
+      });
+      for (const auto& id : missed) {
+        if (pcie_cursor >= plan.makespan) break;  // link busy past the layer
+        if (cache.full()) {
+          const auto victim = cache.peek_victim();
+          if (!victim.has_value()) break;
+          if (cache.policy().priority(id) <= cache.policy().priority(*victim)) break;
+        }
+        if (cache.insert(id).inserted) {
+          ++metrics.maintenance;
+          metrics.pcie_busy += xfer;
+          pcie_cursor += xfer;
+        }
+      }
+    }
+
+    pcie_carry = std::max(0.0, pcie_cursor - plan.makespan);
+  }
+  metrics.cache.hits += transient_hits;  // prefetch-buffer hits count as hits
+  return latency;
+}
+
+StageMetrics OffloadEngine::run_prefill(const workload::PrefillTrace& trace) {
+  StageMetrics metrics;
+  metrics.stage = sched::Stage::Prefill;
+  metrics.tokens = trace.prompt_tokens;
+  components_.cache->reset_stats();
+  const double latency = run_forward(trace.forward, sched::Stage::Prefill, metrics);
+  metrics.per_forward.push_back(latency);
+  metrics.total_latency = latency;
+  // run_forward accumulated transient-buffer hits into metrics.cache.hits;
+  // merge them with the cache's own counters.
+  cache::CacheStats stats = components_.cache->stats();
+  stats.hits += metrics.cache.hits;
+  metrics.cache = stats;
+  return metrics;
+}
+
+StageMetrics OffloadEngine::run_decode(const workload::DecodeTrace& trace) {
+  HYBRIMOE_REQUIRE(trace.num_steps() > 0, "decode trace is empty");
+  StageMetrics metrics;
+  metrics.stage = sched::Stage::Decode;
+  metrics.tokens = trace.num_steps();
+  components_.cache->reset_stats();
+  for (const auto& step : trace.steps) {
+    const double latency = run_forward(step, sched::Stage::Decode, metrics);
+    metrics.per_forward.push_back(latency);
+    metrics.total_latency += latency;
+  }
+  cache::CacheStats stats = components_.cache->stats();
+  stats.hits += metrics.cache.hits;
+  metrics.cache = stats;
+  return metrics;
+}
+
+}  // namespace hybrimoe::runtime

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file frameworks.hpp
+/// Factory for the evaluated inference frameworks (§VI-A.3). Each framework
+/// is an OffloadEngine assembled from the component set that mirrors the
+/// real system's policy:
+///
+///  * llama.cpp      — static layer mapping, no expert cache;
+///  * AdapMoE        — GPU-centric, LRU cache, next-layer prefetch;
+///  * kTransformers  — fixed frequency mapping (pinned), LFU, CPU on decode
+///                     misses;
+///  * HybriMoE       — hybrid scheduling + MRS caching + impact prefetching;
+///  * OnDemand       — pure on-demand GPU loading (Fig. 1(a) reference).
+
+#include <array>
+#include <memory>
+
+#include "core/ablation.hpp"
+#include "runtime/engine.hpp"
+
+namespace hybrimoe::runtime {
+
+enum class Framework : std::uint8_t {
+  LlamaCpp,
+  AdapMoE,
+  KTransformers,
+  HybriMoE,
+  OnDemand,
+};
+
+[[nodiscard]] constexpr const char* to_string(Framework f) noexcept {
+  switch (f) {
+    case Framework::LlamaCpp: return "llama.cpp";
+    case Framework::AdapMoE: return "AdapMoE";
+    case Framework::KTransformers: return "KTransformers";
+    case Framework::HybriMoE: return "HybriMoE";
+    case Framework::OnDemand: return "OnDemand";
+  }
+  return "?";
+}
+
+/// The four frameworks of Figs. 7/8, in the paper's legend order.
+inline constexpr std::array<Framework, 4> kPaperFrameworks{
+    Framework::LlamaCpp, Framework::AdapMoE, Framework::KTransformers,
+    Framework::HybriMoE};
+
+/// Everything needed to assemble an engine.
+struct EngineBuildInfo {
+  double cache_ratio = 0.25;  ///< GPU expert cache ratio (paper: 25/50/75%)
+  /// Warmup activation frequencies (layer x expert); used to seed the cache
+  /// and to pick kTransformers' static placement. May be empty.
+  std::vector<std::vector<double>> warmup_frequencies;
+  std::uint64_t seed = 1;  ///< randomized policies only
+};
+
+/// Build one of the evaluated frameworks against a cost model.
+[[nodiscard]] std::unique_ptr<OffloadEngine> make_engine(Framework framework,
+                                                         const hw::CostModel& costs,
+                                                         const EngineBuildInfo& info);
+
+/// Build a Table III ablation variant: kTransformers baseline plus any
+/// subset of HybriMoE's three techniques.
+[[nodiscard]] std::unique_ptr<OffloadEngine> make_ablation_engine(
+    const core::HybriMoeConfig& config, const hw::CostModel& costs,
+    const EngineBuildInfo& info);
+
+}  // namespace hybrimoe::runtime

@@ -1,0 +1,88 @@
+#include "runtime/session.hpp"
+
+namespace hybrimoe::runtime {
+
+namespace {
+
+/// Seed offset separating warmup traces from evaluation traces.
+constexpr std::uint64_t kWarmupSeedSalt = 0x5EEDFACEULL;
+
+workload::TraceGenParams warmup_params(const workload::TraceGenParams& base) {
+  workload::TraceGenParams p = base;
+  p.gate_seed = base.effective_gate_seed();  // same model instance ...
+  p.seed = base.seed ^ kWarmupSeedSalt;      // ... different token stream
+  return p;
+}
+
+}  // namespace
+
+ExperimentHarness::ExperimentHarness(ExperimentSpec spec)
+    : spec_(std::move(spec)),
+      costs_(spec_.machine, spec_.model),
+      generator_(spec_.model, spec_.trace) {
+  // Warmup statistics from an independent trace: same gates, different
+  // token process — no oracle knowledge of the evaluation trace.
+  workload::TraceGenerator warmup_gen(spec_.model, warmup_params(spec_.trace));
+  const auto warmup_trace = warmup_gen.generate_decode(spec_.warmup_steps);
+  warmup_frequencies_ = workload::activation_frequencies(warmup_trace, spec_.model);
+}
+
+const workload::PrefillTrace& ExperimentHarness::prefill_trace(std::size_t tokens) {
+  auto it = prefill_traces_.find(tokens);
+  if (it == prefill_traces_.end()) {
+    // A fresh conversation per prompt length, deterministic in (seed, length).
+    generator_.reset(spec_.trace.seed + tokens * 2654435761ULL);
+    it = prefill_traces_.emplace(tokens, generator_.generate_prefill(tokens)).first;
+  }
+  return it->second;
+}
+
+const workload::DecodeTrace& ExperimentHarness::decode_trace(std::size_t steps) {
+  auto it = decode_traces_.find(steps);
+  if (it == decode_traces_.end()) {
+    generator_.reset(spec_.trace.seed + steps * 0x9E3779B1ULL + 1);
+    it = decode_traces_.emplace(steps, generator_.generate_decode(steps)).first;
+  }
+  return it->second;
+}
+
+std::unique_ptr<OffloadEngine> ExperimentHarness::build(Framework framework) const {
+  EngineBuildInfo info;
+  info.cache_ratio = spec_.cache_ratio;
+  info.warmup_frequencies = warmup_frequencies_;
+  info.seed = spec_.trace.seed;
+  return make_engine(framework, costs_, info);
+}
+
+std::unique_ptr<OffloadEngine> ExperimentHarness::build(
+    const core::HybriMoeConfig& config) const {
+  EngineBuildInfo info;
+  info.cache_ratio = spec_.cache_ratio;
+  info.warmup_frequencies = warmup_frequencies_;
+  info.seed = spec_.trace.seed;
+  return make_ablation_engine(config, costs_, info);
+}
+
+StageMetrics ExperimentHarness::run_prefill(Framework framework, std::size_t tokens) {
+  const auto& trace = prefill_trace(tokens);
+  return build(framework)->run_prefill(trace);
+}
+
+StageMetrics ExperimentHarness::run_decode(Framework framework, std::size_t steps) {
+  const auto& trace = decode_trace(steps);
+  return build(framework)->run_decode(trace);
+}
+
+StageMetrics ExperimentHarness::run_prefill(const core::HybriMoeConfig& config,
+                                            std::size_t tokens) {
+  const auto& trace = prefill_trace(tokens);
+  return build(config)->run_prefill(trace);
+}
+
+StageMetrics ExperimentHarness::run_decode(const core::HybriMoeConfig& config,
+                                           std::size_t steps) {
+  const auto& trace = decode_trace(steps);
+  return build(config)->run_decode(trace);
+}
+
+}  // namespace hybrimoe::runtime

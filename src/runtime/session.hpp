@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file session.hpp
+/// Experiment harness shared by the benches, the examples and the
+/// integration tests. It pins down the fairness rules of the evaluation:
+///
+///  * every framework sees the *identical* routing trace (traces are
+///    generated once per harness and replayed);
+///  * warmup statistics come from an independent trace (different seed), so
+///    no framework gets oracle knowledge of the evaluation trace;
+///  * each run starts from a freshly built engine with a freshly seeded
+///    cache.
+
+#include <map>
+#include <memory>
+
+#include "runtime/frameworks.hpp"
+#include "workload/generator.hpp"
+
+namespace hybrimoe::runtime {
+
+/// Full description of one experimental setting.
+struct ExperimentSpec {
+  moe::ModelConfig model;
+  hw::MachineProfile machine = hw::MachineProfile::a6000_xeon10();
+  double cache_ratio = 0.25;
+  workload::TraceGenParams trace;  ///< includes the seed
+  std::size_t warmup_steps = 48;   ///< decode steps observed by the warmup
+};
+
+/// Builds the cost model, the shared traces and the warmup statistics once,
+/// then runs frameworks / ablation variants against them.
+class ExperimentHarness {
+ public:
+  explicit ExperimentHarness(ExperimentSpec spec);
+
+  [[nodiscard]] const hw::CostModel& costs() const noexcept { return costs_; }
+  [[nodiscard]] const ExperimentSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const std::vector<std::vector<double>>& warmup_frequencies()
+      const noexcept {
+    return warmup_frequencies_;
+  }
+
+  /// The shared traces (generated on first use, then replayed).
+  [[nodiscard]] const workload::PrefillTrace& prefill_trace(std::size_t tokens);
+  [[nodiscard]] const workload::DecodeTrace& decode_trace(std::size_t steps);
+
+  /// Build a framework engine with this harness's warmup statistics.
+  [[nodiscard]] std::unique_ptr<OffloadEngine> build(Framework framework) const;
+  [[nodiscard]] std::unique_ptr<OffloadEngine> build(
+      const core::HybriMoeConfig& config) const;
+
+  // -- One-call experiment runners ----------------------------------------
+  [[nodiscard]] StageMetrics run_prefill(Framework framework, std::size_t tokens);
+  [[nodiscard]] StageMetrics run_decode(Framework framework, std::size_t steps);
+  [[nodiscard]] StageMetrics run_prefill(const core::HybriMoeConfig& config,
+                                         std::size_t tokens);
+  [[nodiscard]] StageMetrics run_decode(const core::HybriMoeConfig& config,
+                                        std::size_t steps);
+
+ private:
+  ExperimentSpec spec_;
+  hw::CostModel costs_;
+  workload::TraceGenerator generator_;
+  std::vector<std::vector<double>> warmup_frequencies_;
+  std::map<std::size_t, workload::PrefillTrace> prefill_traces_;
+  std::map<std::size_t, workload::DecodeTrace> decode_traces_;
+};
+
+}  // namespace hybrimoe::runtime

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file optimal.hpp
+/// Exact reference scheduler for small instances.
+///
+/// The paper argues the per-layer mapping problem is NP-hard in general and
+/// settles for priority-rule greedy simulation (§IV-B). For instances of up
+/// to ~16 experts we can afford the exact optimum under the same model:
+///
+///  * enumerate every CPU/GPU assignment (2^n);
+///  * CPU cost is order-independent (serial sum + one cold-start penalty);
+///  * the GPU side is a two-machine flow shop (PCIe then GPU) for the
+///    transferred experts, with cached experts forming a GPU head start —
+///    ordered optimally by Johnson's rule.
+///
+/// Tests and the design-ablation bench use this to bound the greedy
+/// scheduler's optimality gap — the quantitative justification for the
+/// paper's "predefined scheduling rules" opportunity (§III, Opportunity 2).
+
+#include <span>
+
+#include "hw/cost_model.hpp"
+#include "sched/plan.hpp"
+#include "sched/simulator.hpp"
+
+namespace hybrimoe::sched {
+
+struct OptimalResult {
+  double makespan = 0.0;
+  /// Device per demand (parallel to the input span).
+  std::vector<ComputeDevice> assignment;
+};
+
+/// Exact minimum makespan over all assignments and transfer orders, under
+/// the same constraints the greedy simulation observes (warmup, offsets,
+/// feature switches). Instances above `max_exhaustive_experts` are rejected.
+[[nodiscard]] OptimalResult optimal_layer_schedule(
+    std::span<const ExpertDemand> demands, const hw::CostModel& costs,
+    const SimOptions& options = {}, std::size_t max_exhaustive_experts = 16);
+
+/// Makespan of one fixed assignment (exposed for tests): cached-on-GPU
+/// experts run first, transferred experts follow in Johnson's order.
+[[nodiscard]] double assignment_makespan(std::span<const ExpertDemand> demands,
+                                         std::span<const ComputeDevice> assignment,
+                                         const hw::CostModel& costs,
+                                         const SimOptions& options = {});
+
+}  // namespace hybrimoe::sched

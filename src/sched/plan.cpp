@@ -1,0 +1,157 @@
+#include "sched/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+namespace hybrimoe::sched {
+
+namespace {
+constexpr double kTimeEps = 1e-9;
+}
+
+std::vector<moe::ExpertId> LayerPlan::transferred_experts() const {
+  std::vector<moe::ExpertId> out;
+  for (const auto& t : tasks)
+    if (t.transferred) out.push_back(t.expert);
+  return out;
+}
+
+hw::TimelineSet LayerPlan::to_timelines() const {
+  hw::TimelineSet set;
+  // Collect intervals per resource in start order, then replay.
+  struct Item {
+    double start, end;
+    hw::OpKind kind;
+    moe::ExpertId expert;
+    std::uint32_t load;
+    hw::Resource resource;
+  };
+  std::vector<Item> items;
+  for (const auto& t : tasks) {
+    if (t.transferred)
+      items.push_back({t.transfer_start, t.transfer_end, hw::OpKind::Transfer, t.expert,
+                       t.load, hw::Resource::Pcie});
+    items.push_back({t.start, t.end,
+                     t.device == ComputeDevice::Cpu ? hw::OpKind::CpuCompute
+                                                    : hw::OpKind::GpuCompute,
+                     t.expert, t.load,
+                     t.device == ComputeDevice::Cpu ? hw::Resource::Cpu
+                                                    : hw::Resource::Gpu});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.start < b.start; });
+  for (const auto& it : items)
+    set.of(it.resource).schedule(it.start, it.end - it.start, it.kind, it.expert, it.load);
+  return set;
+}
+
+std::vector<std::string> validate_plan(const LayerPlan& plan,
+                                       std::span<const ExpertDemand> demands) {
+  std::vector<std::string> issues;
+  auto complain = [&issues](const std::string& what) { issues.push_back(what); };
+
+  std::unordered_map<std::uint16_t, const ExpertTask*> by_expert;
+  for (const auto& t : plan.tasks) {
+    if (t.expert.layer != plan.layer)
+      complain("task " + t.expert.to_string() + " belongs to another layer");
+    if (!by_expert.emplace(t.expert.expert, &t).second)
+      complain("expert " + t.expert.to_string() + " computed more than once");
+  }
+
+  for (const auto& d : demands) {
+    const auto it = by_expert.find(d.expert);
+    if (it == by_expert.end()) {
+      complain("demanded expert E" + std::to_string(d.expert) + " never computed");
+      continue;
+    }
+    const ExpertTask& t = *it->second;
+    if (t.load != d.load)
+      complain("expert " + t.expert.to_string() + " load mismatch: plan " +
+               std::to_string(t.load) + " vs demand " + std::to_string(d.load));
+    if (t.was_cached != d.cached)
+      complain("expert " + t.expert.to_string() + " cached flag mismatch");
+  }
+  if (by_expert.size() != demands.size())
+    complain("plan computes " + std::to_string(by_expert.size()) + " experts, demands " +
+             std::to_string(demands.size()));
+
+  if (plan.gpu_offset < 0.0) complain("negative gpu_offset");
+  if (plan.pcie_offset < 0.0) complain("negative pcie_offset");
+  if (plan.pcie_end < plan.pcie_offset - kTimeEps)
+    complain("pcie_end before pcie_offset");
+
+  double latest_end = plan.gpu_offset;
+  double cpu = 0.0;
+  double gpu = 0.0;
+  double pcie = 0.0;
+  for (const auto& t : plan.tasks) {
+    if (t.end < t.start - kTimeEps)
+      complain("expert " + t.expert.to_string() + " has negative compute duration");
+    if (t.device == ComputeDevice::Gpu && t.start < plan.gpu_offset - kTimeEps)
+      complain("expert " + t.expert.to_string() +
+               " starts on the GPU during the dense phase");
+    latest_end = std::max(latest_end, t.end);
+    (t.device == ComputeDevice::Cpu ? cpu : gpu) += t.end - t.start;
+
+    if (t.transferred) {
+      if (t.was_cached)
+        complain("cached expert " + t.expert.to_string() + " was transferred");
+      if (t.transfer_start < plan.pcie_offset - kTimeEps)
+        complain("expert " + t.expert.to_string() +
+                 " transferred while the link was still carrying earlier work");
+      if (t.device != ComputeDevice::Gpu)
+        complain("transferred expert " + t.expert.to_string() + " not computed on GPU");
+      if (t.transfer_end > t.start + kTimeEps)
+        complain("expert " + t.expert.to_string() + " computed before its transfer ended");
+      if (t.transfer_end < t.transfer_start - kTimeEps)
+        complain("expert " + t.expert.to_string() + " has negative transfer duration");
+      pcie += t.transfer_end - t.transfer_start;
+    } else if (!t.was_cached && t.device == ComputeDevice::Gpu) {
+      complain("uncached expert " + t.expert.to_string() +
+               " computed on GPU without a transfer");
+    }
+  }
+
+  // Resource exclusivity.
+  auto check_overlap = [&](hw::Resource res, auto interval_of) {
+    std::vector<std::pair<double, double>> spans;
+    for (const auto& t : plan.tasks) {
+      const auto iv = interval_of(t);
+      if (iv.second > iv.first) spans.push_back(iv);
+    }
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i)
+      if (spans[i].first < spans[i - 1].second - kTimeEps) {
+        complain(std::string("overlapping intervals on ") + hw::to_string(res));
+        return;
+      }
+  };
+  check_overlap(hw::Resource::Cpu, [](const ExpertTask& t) {
+    return t.device == ComputeDevice::Cpu ? std::pair{t.start, t.end}
+                                          : std::pair{0.0, 0.0};
+  });
+  check_overlap(hw::Resource::Gpu, [](const ExpertTask& t) {
+    return t.device == ComputeDevice::Gpu ? std::pair{t.start, t.end}
+                                          : std::pair{0.0, 0.0};
+  });
+  check_overlap(hw::Resource::Pcie, [](const ExpertTask& t) {
+    return t.transferred ? std::pair{t.transfer_start, t.transfer_end}
+                         : std::pair{0.0, 0.0};
+  });
+
+  if (std::abs(plan.makespan - latest_end) > kTimeEps * (1.0 + latest_end))
+    complain("makespan " + std::to_string(plan.makespan) +
+             " != latest compute end " + std::to_string(latest_end));
+  auto close = [](double a, double b) {
+    return std::abs(a - b) <= kTimeEps * (1.0 + std::max(std::abs(a), std::abs(b)));
+  };
+  if (!close(plan.cpu_busy, cpu)) complain("cpu_busy mismatch");
+  if (!close(plan.gpu_busy, gpu)) complain("gpu_busy mismatch");
+  if (!close(plan.pcie_busy, pcie)) complain("pcie_busy mismatch");
+
+  return issues;
+}
+
+}  // namespace hybrimoe::sched

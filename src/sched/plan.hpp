@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file plan.hpp
+/// The unit the schedulers produce: a per-layer execution plan assigning every
+/// activated expert to a device, with transfer and compute intervals on the
+/// three resource timelines. Plans are checked by validate_plan — every
+/// scheduler in the test suite must produce structurally valid plans on every
+/// input.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hw/timeline.hpp"
+#include "moe/expert_id.hpp"
+
+namespace hybrimoe::sched {
+
+/// Inference stage; some baselines schedule the two differently
+/// (kTransformers uses the CPU only during decode — paper Table I).
+enum class Stage : std::uint8_t { Prefill, Decode };
+
+[[nodiscard]] constexpr const char* to_string(Stage s) noexcept {
+  return s == Stage::Prefill ? "prefill" : "decode";
+}
+
+enum class ComputeDevice : std::uint8_t { Cpu, Gpu };
+
+/// One activated expert of the current layer as the scheduler sees it.
+struct ExpertDemand {
+  std::uint16_t expert = 0;
+  std::uint32_t load = 0;  ///< tokens routed to this expert (> 0)
+  bool cached = false;     ///< resident in the GPU expert cache
+};
+
+/// Where/when one expert was computed (and transferred, if it was).
+struct ExpertTask {
+  moe::ExpertId expert;
+  std::uint32_t load = 0;
+  ComputeDevice device = ComputeDevice::Cpu;
+  bool was_cached = false;
+  bool transferred = false;  ///< uploaded on demand before GPU compute
+  double transfer_start = 0.0;
+  double transfer_end = 0.0;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+/// The scheduler's output for one MoE layer.
+struct LayerPlan {
+  std::uint16_t layer = 0;
+  Stage stage = Stage::Decode;
+  std::vector<ExpertTask> tasks;
+  /// GPU occupancy by the layer's dense phase (SimOptions::gpu_busy_until);
+  /// no GPU expert task starts before it.
+  double gpu_offset = 0.0;
+  /// PCIe occupancy carried in from previous layers' in-flight transfers;
+  /// no transfer starts before it.
+  double pcie_offset = 0.0;
+  /// When the PCIe link frees up after this plan's transfers (>= pcie_offset;
+  /// the prefetcher starts its uploads here).
+  double pcie_end = 0.0;
+  /// Layer latency: dense phase plus the routed-expert phase
+  /// (max of gpu_offset and the latest compute end).
+  double makespan = 0.0;
+  double cpu_busy = 0.0;
+  double gpu_busy = 0.0;
+  double pcie_busy = 0.0;
+
+  /// Experts uploaded on demand (they enter the cache on completion).
+  [[nodiscard]] std::vector<moe::ExpertId> transferred_experts() const;
+
+  /// Rebuild resource timelines (for Gantt rendering and validation).
+  [[nodiscard]] hw::TimelineSet to_timelines() const;
+};
+
+/// Structural validation; returns human-readable violations (empty == valid):
+///  * every demanded expert computed exactly once, with matching load;
+///  * an uncached expert computed on the GPU must have a completed transfer
+///    that ends before its compute starts;
+///  * cached experts are never transferred;
+///  * no two intervals overlap on the same resource;
+///  * makespan equals the latest compute end and busy sums match intervals.
+[[nodiscard]] std::vector<std::string> validate_plan(
+    const LayerPlan& plan, std::span<const ExpertDemand> demands);
+
+}  // namespace hybrimoe::sched

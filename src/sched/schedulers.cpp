@@ -1,0 +1,115 @@
+#include "sched/schedulers.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace hybrimoe::sched {
+
+HybridScheduler::HybridScheduler(SimOptions options) : options_(options) {
+  options_.validate();
+}
+
+LayerPlan HybridScheduler::schedule(std::uint16_t layer, Stage stage,
+                                    std::span<const ExpertDemand> demands,
+                                    const hw::CostModel& costs,
+                                    double gpu_busy_until, double pcie_busy_until) {
+  SimOptions opt = options_;
+  opt.gpu_busy_until = gpu_busy_until;
+  opt.pcie_busy_until = pcie_busy_until;
+  return simulate_layer(layer, stage, demands, costs, opt);
+}
+
+SimOptions FixedMapScheduler::impact_options() const {
+  // Impact of caching an extra expert under the fixed mapping (used when
+  // ablations attach a prefetcher to the kTransformers baseline).
+  SimOptions opt;
+  opt.allow_cpu_steal = false;
+  opt.allow_transfers = false;
+  return opt;
+}
+
+LayerPlan FixedMapScheduler::schedule(std::uint16_t layer, Stage stage,
+                                      std::span<const ExpertDemand> demands,
+                                      const hw::CostModel& costs,
+                                      double gpu_busy_until, double pcie_busy_until) {
+  SimOptions opt;
+  opt.gpu_busy_until = gpu_busy_until;
+  opt.pcie_busy_until = pcie_busy_until;
+  if (stage == Stage::Decode) {
+    // Decode: hits on GPU, misses on CPU, nothing moves.
+    opt.allow_cpu = true;
+    opt.allow_transfers = false;
+    opt.allow_cpu_steal = false;
+  } else {
+    // Prefill: kTransformers streams misses to the GPU; the CPU is not used
+    // for expert computation in this stage (paper Table I).
+    opt.allow_cpu = false;
+    opt.allow_transfers = true;
+    opt.allow_cpu_steal = false;
+    opt.transfer_only_if_beneficial = false;
+  }
+  return simulate_layer(layer, stage, demands, costs, opt);
+}
+
+SimOptions GpuCentricScheduler::impact_options() const {
+  SimOptions opt;
+  opt.allow_cpu = false;
+  opt.allow_transfers = true;
+  opt.transfer_only_if_beneficial = false;
+  return opt;
+}
+
+LayerPlan GpuCentricScheduler::schedule(std::uint16_t layer, Stage stage,
+                                        std::span<const ExpertDemand> demands,
+                                        const hw::CostModel& costs,
+                                        double gpu_busy_until, double pcie_busy_until) {
+  SimOptions opt = impact_options();
+  opt.gpu_busy_until = gpu_busy_until;
+  opt.pcie_busy_until = pcie_busy_until;
+  return simulate_layer(layer, stage, demands, costs, opt);
+}
+
+StaticLayerScheduler::StaticLayerScheduler(std::size_t num_layers, double gpu_fraction)
+    : num_layers_(num_layers) {
+  HYBRIMOE_REQUIRE(num_layers > 0, "StaticLayerScheduler needs layers");
+  HYBRIMOE_REQUIRE(gpu_fraction >= 0.0 && gpu_fraction <= 1.0,
+                   "gpu_fraction must be in [0,1]");
+  gpu_layers_ = static_cast<std::size_t>(
+      std::llround(gpu_fraction * static_cast<double>(num_layers)));
+}
+
+bool StaticLayerScheduler::is_gpu_layer(std::uint16_t layer) const {
+  HYBRIMOE_REQUIRE(layer < num_layers_, "layer out of range");
+  if (gpu_layers_ == 0) return false;
+  if (gpu_layers_ >= num_layers_) return true;
+  // Even spread: layer l is a GPU layer when its bucket index advances.
+  const std::size_t l = layer;
+  return (l * gpu_layers_) / num_layers_ != ((l + 1) * gpu_layers_) / num_layers_;
+}
+
+LayerPlan StaticLayerScheduler::schedule(std::uint16_t layer, Stage stage,
+                                         std::span<const ExpertDemand> demands,
+                                         const hw::CostModel& costs,
+                                         double gpu_busy_until, double pcie_busy_until) {
+  // Residency is the static assignment, not the dynamic cache.
+  std::vector<ExpertDemand> adjusted(demands.begin(), demands.end());
+  const bool on_gpu = is_gpu_layer(layer);
+  for (auto& d : adjusted) d.cached = on_gpu;
+
+  SimOptions opt;
+  opt.gpu_busy_until = gpu_busy_until;
+  opt.pcie_busy_until = pcie_busy_until;
+  opt.allow_transfers = false;
+  opt.allow_cpu_steal = false;
+  opt.allow_cpu = !on_gpu;
+  if (on_gpu) {
+    // Nothing to do on CPU; disable it so the options validate either way.
+    opt.allow_cpu = false;
+    opt.allow_transfers = true;  // vacuous: every expert is resident
+  }
+  return simulate_layer(layer, stage, adjusted, costs, opt);
+}
+
+}  // namespace hybrimoe::sched

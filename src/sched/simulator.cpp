@@ -1,0 +1,290 @@
+#include "sched/simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace hybrimoe::sched {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A pending expert inside the simulation.
+struct Pending {
+  std::uint16_t expert = 0;
+  std::uint32_t load = 0;
+  bool cached = false;       ///< resident before the layer started
+  bool transferred = false;  ///< promoted by PCIe during this layer
+  double arrival = 0.0;      ///< earliest GPU start (transfer completion)
+  double transfer_start = 0.0;
+};
+
+/// Simulation state: three clocks plus the two priority queues.
+struct SimState {
+  // GPU side: cached + transferred experts awaiting GPU compute,
+  // kept sorted by descending load (paper: high-load first).
+  std::vector<Pending> gpu_side;
+  // CPU side: uncached experts, kept sorted by ascending load.
+  std::vector<Pending> cpu_side;
+  double cpu_t = 0.0;
+  double gpu_t = 0.0;
+  double pcie_t = 0.0;
+  bool cpu_used = false;  ///< warmup tracking
+};
+
+void insert_gpu_sorted(std::vector<Pending>& gpu_side, Pending p) {
+  const auto pos = std::find_if(gpu_side.begin(), gpu_side.end(),
+                                [&](const Pending& q) { return q.load < p.load; });
+  gpu_side.insert(pos, p);
+}
+
+/// Total GPU compute time of everything currently queued on the GPU side.
+double gpu_backlog(const std::vector<Pending>& gpu_side, const hw::CostModel& costs) {
+  double total = 0.0;
+  for (const auto& p : gpu_side) total += costs.gpu_expert_time(p.load);
+  return total;
+}
+
+/// Total CPU compute time of the whole CPU queue (warm-path estimate).
+double cpu_backlog(const std::vector<Pending>& cpu_side, const hw::CostModel& costs) {
+  double total = 0.0;
+  for (const auto& p : cpu_side) total += costs.cpu_expert_time(p.load, /*warm=*/true);
+  return total;
+}
+
+}  // namespace
+
+void SimOptions::validate() const {
+  HYBRIMOE_REQUIRE(allow_cpu || allow_transfers,
+                   "uncached experts need either CPU compute or transfers");
+  HYBRIMOE_REQUIRE(gpu_busy_until >= 0.0, "gpu_busy_until must be non-negative");
+  HYBRIMOE_REQUIRE(pcie_busy_until >= 0.0, "pcie_busy_until must be non-negative");
+}
+
+LayerPlan simulate_layer(std::uint16_t layer, Stage stage,
+                         std::span<const ExpertDemand> demands,
+                         const hw::CostModel& costs, const SimOptions& options) {
+  options.validate();
+  HYBRIMOE_REQUIRE(!demands.empty(), "simulate_layer with no demands");
+  {
+    std::unordered_set<std::uint16_t> seen;
+    for (const auto& d : demands) {
+      HYBRIMOE_REQUIRE(d.load > 0, "expert demand with zero load");
+      HYBRIMOE_REQUIRE(seen.insert(d.expert).second, "duplicate expert in demands");
+    }
+  }
+
+  SimState st;
+  st.gpu_t = options.gpu_busy_until;
+  st.pcie_t = options.pcie_busy_until;
+  for (const auto& d : demands) {
+    Pending p{.expert = d.expert, .load = d.load, .cached = d.cached};
+    if (d.cached) {
+      insert_gpu_sorted(st.gpu_side, p);
+    } else {
+      st.cpu_side.push_back(p);
+    }
+  }
+  std::sort(st.cpu_side.begin(), st.cpu_side.end(),
+            [](const Pending& a, const Pending& b) {
+              if (a.load != b.load) return a.load < b.load;
+              return a.expert < b.expert;  // deterministic tie-break
+            });
+
+  LayerPlan plan;
+  plan.layer = layer;
+  plan.stage = stage;
+  plan.gpu_offset = options.gpu_busy_until;
+  plan.pcie_offset = options.pcie_busy_until;
+  plan.pcie_end = options.pcie_busy_until;
+  plan.tasks.reserve(demands.size());
+
+  const double xfer = costs.transfer_time();
+
+  auto emit_cpu = [&](const Pending& p) {
+    const bool warm = st.cpu_used || !options.cpu_cold_start;
+    const double dur = costs.cpu_expert_time(p.load, warm);
+    ExpertTask t;
+    t.expert = {layer, p.expert};
+    t.load = p.load;
+    t.device = ComputeDevice::Cpu;
+    t.was_cached = p.cached;
+    t.start = st.cpu_t;
+    t.end = st.cpu_t + dur;
+    st.cpu_t = t.end;
+    st.cpu_used = true;
+    plan.cpu_busy += dur;
+    plan.tasks.push_back(t);
+  };
+
+  auto emit_gpu = [&](const Pending& p) {
+    const double dur = costs.gpu_expert_time(p.load);
+    ExpertTask t;
+    t.expert = {layer, p.expert};
+    t.load = p.load;
+    t.device = ComputeDevice::Gpu;
+    t.was_cached = p.cached;
+    t.transferred = p.transferred;
+    t.transfer_start = p.transfer_start;
+    t.transfer_end = p.arrival;
+    t.start = std::max(st.gpu_t, p.arrival);
+    t.end = t.start + dur;
+    st.gpu_t = t.end;
+    plan.gpu_busy += dur;
+    if (p.transferred) plan.pcie_busy += p.arrival - p.transfer_start;
+    plan.tasks.push_back(t);
+  };
+
+  while (!st.gpu_side.empty() || !st.cpu_side.empty()) {
+    // ---- Enumerate feasible actions with their resource-availability time.
+    // GPU: prefer the highest-load *ready* item; else wait for the earliest
+    // arrival. gpu_side is load-descending, so the first ready item wins.
+    double gpu_when = kInf;
+    std::size_t gpu_pick = 0;
+    if (!st.gpu_side.empty()) {
+      std::size_t earliest = 0;
+      bool found_ready = false;
+      for (std::size_t i = 0; i < st.gpu_side.size(); ++i) {
+        if (st.gpu_side[i].arrival <= st.gpu_t) {
+          gpu_pick = i;
+          found_ready = true;
+          break;
+        }
+        if (st.gpu_side[i].arrival < st.gpu_side[earliest].arrival) earliest = i;
+      }
+      if (!found_ready) gpu_pick = earliest;
+      gpu_when = std::max(st.gpu_t, st.gpu_side[gpu_pick].arrival);
+    }
+
+    // CPU: front of its own queue; else steal the lowest-load cached expert
+    // from the GPU side when that finishes sooner than the GPU would get
+    // to it (it is last in GPU priority order).
+    double cpu_when = kInf;
+    bool cpu_steals = false;
+    std::size_t steal_pick = 0;
+    if (options.allow_cpu) {
+      if (!st.cpu_side.empty()) {
+        bool take = true;
+        if (options.allow_transfers && options.cpu_only_if_beneficial) {
+          // Simulation-evaluated assignment: would the lowest-load uncached
+          // expert finish sooner on the CPU than streamed at the tail of the
+          // PCIe chain? The 1.5x margin hedges the chain-length estimate,
+          // which shrinks as the CPU keeps draining the queue.
+          const Pending& cand = st.cpu_side.front();
+          const bool warm = st.cpu_used || !options.cpu_cold_start;
+          const double cpu_finish =
+              st.cpu_t + 1.5 * costs.cpu_expert_time(cand.load, warm);
+          const double arrival =
+              st.pcie_t + xfer * static_cast<double>(st.cpu_side.size());
+          const double gpu_finish =
+              std::max(arrival, st.gpu_t + gpu_backlog(st.gpu_side, costs)) +
+              costs.gpu_expert_time(cand.load);
+          take = cpu_finish <= gpu_finish;
+        }
+        if (take) cpu_when = st.cpu_t;
+      } else if (options.allow_cpu_steal && !st.gpu_side.empty()) {
+        // Lowest load == last element (load-descending order); skip
+        // transferred items: their upload cost is already sunk.
+        bool found = false;
+        for (std::size_t i = st.gpu_side.size(); i-- > 0;) {
+          if (!st.gpu_side[i].transferred) {
+            steal_pick = i;
+            found = true;
+            break;
+          }
+        }
+        if (found) {
+          const Pending& cand = st.gpu_side[steal_pick];
+          const bool warm = st.cpu_used || !options.cpu_cold_start;
+          const double cpu_finish = st.cpu_t + costs.cpu_expert_time(cand.load, warm);
+          const double gpu_finish =
+              st.gpu_t + gpu_backlog(st.gpu_side, costs);  // it is served last
+          if (cpu_finish < gpu_finish) {
+            cpu_when = st.cpu_t;
+            cpu_steals = true;
+          }
+        }
+      }
+    }
+
+    // PCIe: highest-load uncached expert (back of the CPU queue), committed
+    // only when the simulated completion via the GPU wins.
+    double pcie_when = kInf;
+    if (options.allow_transfers && !st.cpu_side.empty()) {
+      const Pending& cand = st.cpu_side.back();
+      bool beneficial = true;
+      if (options.allow_cpu && options.transfer_only_if_beneficial) {
+        const double arrival = st.pcie_t + xfer;
+        const double gpu_finish = std::max(arrival, st.gpu_t + gpu_backlog(st.gpu_side, costs)) +
+                                  costs.gpu_expert_time(cand.load);
+        const double cpu_finish = st.cpu_t + cpu_backlog(st.cpu_side, costs);
+        // Ties go to the GPU route: it frees the CPU for other work and the
+        // uploaded expert warms the cache.
+        beneficial = gpu_finish <= cpu_finish;
+      }
+      if (beneficial) pcie_when = st.pcie_t;
+    }
+
+    // Both marginal checks can decline at once (each route looks worse than
+    // the other's estimate). Forcing the CPU (or, CPU disabled, the link)
+    // to take its priority item keeps the greedy loop live.
+    if (gpu_when == kInf && cpu_when == kInf && pcie_when == kInf &&
+        !st.cpu_side.empty()) {
+      if (options.allow_cpu) {
+        cpu_when = st.cpu_t;
+      } else {
+        pcie_when = st.pcie_t;
+      }
+    }
+
+    HYBRIMOE_ASSERT(gpu_when < kInf || cpu_when < kInf || pcie_when < kInf,
+                    "scheduling deadlock: no feasible action");
+
+    // ---- Commit the action on the earliest-available resource
+    // (tie-break: GPU, then CPU, then PCIe).
+    if (gpu_when <= cpu_when && gpu_when <= pcie_when) {
+      const Pending p = st.gpu_side[gpu_pick];
+      st.gpu_side.erase(st.gpu_side.begin() + static_cast<std::ptrdiff_t>(gpu_pick));
+      emit_gpu(p);
+    } else if (cpu_when <= pcie_when) {
+      if (cpu_steals) {
+        const Pending p = st.gpu_side[steal_pick];
+        st.gpu_side.erase(st.gpu_side.begin() + static_cast<std::ptrdiff_t>(steal_pick));
+        emit_cpu(p);
+      } else {
+        const Pending p = st.cpu_side.front();
+        st.cpu_side.erase(st.cpu_side.begin());
+        emit_cpu(p);
+      }
+    } else {
+      Pending p = st.cpu_side.back();
+      st.cpu_side.pop_back();
+      p.transferred = true;
+      p.transfer_start = st.pcie_t;
+      st.pcie_t += xfer;
+      p.arrival = st.pcie_t;
+      insert_gpu_sorted(st.gpu_side, p);
+    }
+  }
+
+  plan.makespan = options.gpu_busy_until;
+  for (const auto& t : plan.tasks) plan.makespan = std::max(plan.makespan, t.end);
+  plan.pcie_end = st.pcie_t;
+  return plan;
+}
+
+double makespan_with_extra_cached(std::uint16_t layer, Stage stage,
+                                  std::span<const ExpertDemand> demands,
+                                  std::uint16_t extra_cached, const hw::CostModel& costs,
+                                  const SimOptions& options) {
+  std::vector<ExpertDemand> adjusted(demands.begin(), demands.end());
+  for (auto& d : adjusted)
+    if (d.expert == extra_cached) d.cached = true;
+  return simulate_layer(layer, stage, adjusted, costs, options).makespan;
+}
+
+}  // namespace hybrimoe::sched

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file simulator.hpp
+/// The greedy timeline-filling simulation at the heart of HybriMoE (§IV-B).
+///
+/// The paper reduces per-layer scheduling to an allocation problem
+/// (Eq. 2: minimise max(CPU_TIME, GPU_TIME)) constrained by three priority
+/// rules, then *simulates* execution to pick the allocation:
+///
+///  * GPU priority  — cached experts, highest load first;
+///  * CPU priority  — uncached experts, lowest load first; when its queue is
+///                    empty the CPU steals low-load cached experts;
+///  * Transfer      — PCIe promotes the highest-load uncached expert to the
+///                    GPU when the simulated completion via GPU beats leaving
+///                    it on the CPU.
+///
+/// Each simulation step advances the resource timeline with the earliest
+/// availability and commits its priority-selected operation. The committed
+/// trace *is* the schedule: in our discrete-event world, executing a plan is
+/// re-running this simulation, so the returned LayerPlan carries both the
+/// allocation and the timing.
+///
+/// The same routine — with features disabled through SimOptions — also
+/// implements the baseline scheduling policies (kTransformers fixed mapping,
+/// AdapMoE GPU-centric, llama.cpp static layers), so that framework
+/// comparisons isolate policy differences only.
+
+#include <span>
+
+#include "hw/cost_model.hpp"
+#include "sched/plan.hpp"
+
+namespace hybrimoe::sched {
+
+/// Feature switches of the greedy simulation.
+struct SimOptions {
+  /// CPU may compute uncached experts.
+  bool allow_cpu = true;
+  /// PCIe may promote uncached experts to the GPU.
+  bool allow_transfers = true;
+  /// Idle CPU may steal low-load *cached* experts from the GPU queue.
+  bool allow_cpu_steal = true;
+  /// Commit a transfer only when its simulated GPU completion beats the CPU
+  /// completion (the paper's simulation-evaluated choice). When allow_cpu is
+  /// false this check is vacuous — transfers are the only way to make
+  /// progress on uncached experts.
+  bool transfer_only_if_beneficial = true;
+  /// Symmetric check on the CPU side: the CPU takes its lowest-load uncached
+  /// expert only when finishing it there beats streaming it over PCIe at the
+  /// tail of the transfer chain. Keeps the CPU out of high-load prefill
+  /// work the GPU route would finish sooner. Vacuous when transfers are
+  /// disabled (the CPU is then the only route).
+  bool cpu_only_if_beneficial = true;
+  /// First CPU task of the layer pays the cold-start warmup penalty
+  /// (paper Fig. 3e).
+  bool cpu_cold_start = true;
+  /// The GPU is occupied until this time by the layer's dense work
+  /// (attention + shared experts — see Fig. 5, where the shared expert block
+  /// precedes routed experts on the GPU). The CPU starts at time zero, which
+  /// is exactly how hybrid frameworks hide CPU misses under the dense phase.
+  double gpu_busy_until = 0.0;
+  /// The PCIe link is occupied until this time by transfers still in flight
+  /// from previous layers (prefetches issued asynchronously). On-demand
+  /// transfers queue behind them — so aggressive prefetching *delays*
+  /// on-demand loads, a trade-off the beneficial-transfer check sees.
+  double pcie_busy_until = 0.0;
+
+  void validate() const;
+};
+
+/// Run the greedy simulation for one layer.
+///
+/// Preconditions: demands non-empty, loads positive, expert ids unique;
+/// if allow_cpu is false, allow_transfers must be true.
+[[nodiscard]] LayerPlan simulate_layer(std::uint16_t layer, Stage stage,
+                                       std::span<const ExpertDemand> demands,
+                                       const hw::CostModel& costs,
+                                       const SimOptions& options = {});
+
+/// Makespan the simulation would reach if `extra_cached` were already
+/// resident — the counterfactual the impact-driven prefetcher evaluates.
+[[nodiscard]] double makespan_with_extra_cached(std::uint16_t layer, Stage stage,
+                                                std::span<const ExpertDemand> demands,
+                                                std::uint16_t extra_cached,
+                                                const hw::CostModel& costs,
+                                                const SimOptions& options = {});
+
+}  // namespace hybrimoe::sched

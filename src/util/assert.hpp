@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file assert.hpp
+/// Lightweight contract checking used across the library.
+///
+/// Two categories, per the C++ Core Guidelines (I.5/I.6):
+///  * HYBRIMOE_REQUIRE  — precondition on a public API; violations throw
+///    std::invalid_argument so callers can recover or surface the misuse.
+///  * HYBRIMOE_ASSERT   — internal invariant; violations throw
+///    std::logic_error because continuing would produce garbage results.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hybrimoe::util {
+
+[[noreturn]] inline void raise_precondition(const char* expr, const char* file, int line,
+                                            const std::string& message) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void raise_invariant(const char* expr, const char* file, int line,
+                                         const std::string& message) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace hybrimoe::util
+
+#define HYBRIMOE_REQUIRE(expr, msg)                                             \
+  do {                                                                          \
+    if (!(expr)) ::hybrimoe::util::raise_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define HYBRIMOE_ASSERT(expr, msg)                                              \
+  do {                                                                          \
+    if (!(expr)) ::hybrimoe::util::raise_invariant(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,42 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace hybrimoe::util {
+
+double Rng::gaussian() noexcept {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller; reject u1 == 0 to keep log() finite.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  HYBRIMOE_REQUIRE(!weights.empty(), "categorical requires at least one weight");
+  double total = 0.0;
+  for (const double w : weights) {
+    HYBRIMOE_REQUIRE(w >= 0.0, "categorical weights must be non-negative");
+    total += w;
+  }
+  HYBRIMOE_REQUIRE(total > 0.0, "categorical requires a positive total weight");
+  double draw = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric tail: return the last positive bucket
+}
+
+}  // namespace hybrimoe::util

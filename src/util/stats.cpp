@@ -1,0 +1,127 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace hybrimoe::util {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> values, double q) {
+  HYBRIMOE_REQUIRE(!values.empty(), "percentile of empty span");
+  HYBRIMOE_REQUIRE(q >= 0.0 && q <= 100.0, "percentile q must be in [0,100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double geometric_mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double v : values) {
+    HYBRIMOE_REQUIRE(v > 0.0, "geometric_mean requires strictly positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double gini(std::span<const double> values) {
+  HYBRIMOE_REQUIRE(!values.empty(), "gini of empty span");
+  std::vector<double> sorted(values.begin(), values.end());
+  for (const double v : sorted) HYBRIMOE_REQUIRE(v >= 0.0, "gini requires non-negative values");
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    weighted += (2.0 * static_cast<double>(i + 1) - n - 1.0) * sorted[i];
+    total += sorted[i];
+  }
+  if (total <= 0.0) return 0.0;
+  return weighted / (n * total);
+}
+
+std::vector<double> concentration_cdf(std::span<const double> values) {
+  HYBRIMOE_REQUIRE(!values.empty(), "concentration_cdf of empty span");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const double total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+  std::vector<double> cdf(sorted.size(), 0.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    acc += sorted[i];
+    cdf[i] = total > 0.0 ? acc / total : 0.0;
+  }
+  return cdf;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  HYBRIMOE_REQUIRE(xs.size() == ys.size(), "pearson requires equal-length series");
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace hybrimoe::util

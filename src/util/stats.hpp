@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming and batch statistics used by the metrics collectors and the
+/// figure-reproduction benches (CDFs, percentiles, concentration measures).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hybrimoe::util {
+
+/// Welford-style streaming accumulator: count / mean / variance / min / max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double total() const noexcept { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolated percentile, q in [0,100]. Copies and sorts its input.
+[[nodiscard]] double percentile(std::span<const double> values, double q);
+
+/// Arithmetic mean of a span (0 for empty input).
+[[nodiscard]] double mean(std::span<const double> values) noexcept;
+
+/// Geometric mean of strictly positive values (0 for empty input).
+[[nodiscard]] double geometric_mean(std::span<const double> values);
+
+/// Gini coefficient of a non-negative distribution; 0 = perfectly even,
+/// -> 1 = fully concentrated. Used to compare neuron vs expert activation
+/// skew (paper Fig. 3a).
+[[nodiscard]] double gini(std::span<const double> values);
+
+/// Cumulative distribution of "share of total mass captured by the top x% of
+/// items", evaluated at each item boundary after sorting descending —
+/// exactly the curve plotted in the paper's Fig. 3(a).
+///
+/// Result has values.size() points; point i is the fraction of total mass
+/// held by the (i+1) largest items.
+[[nodiscard]] std::vector<double> concentration_cdf(std::span<const double> values);
+
+/// Pearson correlation of two equal-length series (0 if degenerate).
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace hybrimoe::util

@@ -1,0 +1,119 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace hybrimoe::util {
+
+TextTable& TextTable::set_headers(std::vector<std::string> headers) {
+  headers_ = std::move(headers);
+  return *this;
+}
+
+TextTable& TextTable::begin_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::add_cell(std::string value) {
+  HYBRIMOE_REQUIRE(!rows_.empty(), "add_cell before begin_row");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+TextTable& TextTable::add_cell(double value, int precision) {
+  return add_cell(format_double(value, precision));
+}
+
+TextTable& TextTable::add_cell(std::size_t value) {
+  return add_cell(std::to_string(value));
+}
+
+TextTable& TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void TextTable::print(std::ostream& os) const { os << to_string(); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(headers_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (const auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      os << ' ' << cell << std::string(widths[i] - cell.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  rule();
+  if (!headers_.empty()) {
+    emit(headers_);
+    rule();
+  }
+  for (const auto& row : rows_) emit(row);
+  rule();
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (const char c : cell) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ',';
+      os << escape(cells[i]);
+    }
+    os << '\n';
+  };
+  if (!headers_.empty()) emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string format_seconds(double value) {
+  const double magnitude = value < 0 ? -value : value;
+  if (magnitude >= 1.0) return format_double(value, 3) + " s";
+  if (magnitude >= 1e-3) return format_double(value * 1e3, 3) + " ms";
+  if (magnitude >= 1e-6) return format_double(value * 1e6, 2) + " us";
+  return format_double(value * 1e9, 1) + " ns";
+}
+
+std::string format_speedup(double value) { return format_double(value, 2) + "x"; }
+
+}  // namespace hybrimoe::util

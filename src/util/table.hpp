@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file table.hpp
+/// ASCII table / CSV emission for the benchmark harnesses. Every figure and
+/// table of the paper is regenerated as one of these tables so the output can
+/// be eyeballed against the paper and diffed across runs.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hybrimoe::util {
+
+/// Column-aligned text table with an optional title.
+///
+/// Cells are stored as strings; numeric helpers format with a fixed precision
+/// so repeated runs produce byte-identical output (determinism matters for
+/// the reproduction harness).
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  TextTable& set_headers(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent add_cell calls append to it.
+  TextTable& begin_row();
+  TextTable& add_cell(std::string value);
+  TextTable& add_cell(double value, int precision = 3);
+  TextTable& add_cell(std::size_t value);
+
+  /// Convenience: full row at once.
+  TextTable& add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with box-drawing separators.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Comma-separated rendering (headers first) for machine consumption.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (shared by TextTable and ad-hoc prints).
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+/// Render `value` seconds with an auto-selected unit (s / ms / us / ns).
+[[nodiscard]] std::string format_seconds(double value);
+
+/// Render a ratio as e.g. "1.33x".
+[[nodiscard]] std::string format_speedup(double value);
+
+}  // namespace hybrimoe::util

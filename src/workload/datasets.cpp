@@ -1,0 +1,57 @@
+#include "workload/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace hybrimoe::workload {
+
+namespace {
+
+struct LengthModel {
+  double log_mean;   ///< mean of ln(length)
+  double log_sigma;  ///< stddev of ln(length)
+  std::size_t min_len;
+  std::size_t max_len;
+};
+
+/// Log-normal parameters fitted to the public prompt-length histograms.
+constexpr LengthModel model_for(Dataset d) noexcept {
+  switch (d) {
+    case Dataset::MtBench:  // two-turn judge prompts, mostly 30-200 tokens
+      return {4.36, 0.55, 16, 1536};   // median ~78
+    case Dataset::VicunaBench:  // single-turn questions, short
+      return {4.04, 0.45, 12, 768};    // median ~57
+    case Dataset::ChatGptPrompts:  // persona instructions, wide spread
+      return {4.78, 0.70, 16, 2048};   // median ~119
+  }
+  return {4.5, 0.5, 16, 1024};
+}
+
+}  // namespace
+
+std::size_t sample_prompt_length(Dataset dataset, util::Rng& rng) {
+  const LengthModel m = model_for(dataset);
+  const double ln_len = rng.gaussian(m.log_mean, m.log_sigma);
+  const auto len = static_cast<std::size_t>(std::llround(std::exp(ln_len)));
+  return std::clamp(len, m.min_len, m.max_len);
+}
+
+std::size_t sample_bucketed_length(Dataset dataset, std::size_t bucket, util::Rng& rng) {
+  HYBRIMOE_REQUIRE(bucket >= 8, "bucket too small");
+  // Keep the dataset flavour via a mild per-dataset skew inside the +/-10%
+  // window (MT-Bench prompts cluster low in a bucket, ChatGPT prompts high).
+  double skew = 0.0;
+  switch (dataset) {
+    case Dataset::MtBench: skew = -0.03; break;
+    case Dataset::VicunaBench: skew = 0.0; break;
+    case Dataset::ChatGptPrompts: skew = 0.03; break;
+  }
+  const double factor = 1.0 + skew + rng.uniform(-0.10, 0.10);
+  const auto len = static_cast<std::size_t>(
+      std::llround(static_cast<double>(bucket) * factor));
+  return std::max<std::size_t>(8, len);
+}
+
+}  // namespace hybrimoe::workload

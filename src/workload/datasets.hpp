@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file datasets.hpp
+/// Prompt-length models for the three datasets the paper samples (§VI-A.5):
+/// MT-Bench, Vicuna-Bench and ChatGPT-Prompts. Only prompt lengths matter to
+/// an offloading benchmark (content is abstracted by the trace generator), so
+/// each dataset is a clipped log-normal fit of its public length histogram.
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace hybrimoe::workload {
+
+enum class Dataset : std::uint8_t { MtBench, VicunaBench, ChatGptPrompts };
+
+[[nodiscard]] constexpr const char* to_string(Dataset d) noexcept {
+  switch (d) {
+    case Dataset::MtBench: return "MT-Bench";
+    case Dataset::VicunaBench: return "Vicuna-Bench";
+    case Dataset::ChatGptPrompts: return "ChatGPT-Prompts";
+  }
+  return "?";
+}
+
+/// All datasets in paper order.
+inline constexpr std::array<Dataset, 3> kAllDatasets{
+    Dataset::MtBench, Dataset::VicunaBench, Dataset::ChatGptPrompts};
+
+/// The four prefill bucket lengths of the paper's Fig. 7.
+inline constexpr std::array<std::size_t, 4> kPaperPrefillLengths{32, 128, 512, 1024};
+
+/// Draw a prompt length (tokens) from the dataset's length distribution.
+[[nodiscard]] std::size_t sample_prompt_length(Dataset dataset, util::Rng& rng);
+
+/// Draw a prompt length near a target bucket: the paper samples "traces of
+/// different lengths ... around 32, 128, 512 and 1024 tokens". Returns a
+/// length within ±10% of the bucket, dataset-flavoured.
+[[nodiscard]] std::size_t sample_bucketed_length(Dataset dataset, std::size_t bucket,
+                                                 util::Rng& rng);
+
+}  // namespace hybrimoe::workload

@@ -1,0 +1,186 @@
+#include "workload/generator.hpp"
+
+#include <cmath>
+
+#include "kernels/ops.hpp"
+
+namespace hybrimoe::workload {
+
+std::vector<std::vector<double>> activation_frequencies(const DecodeTrace& trace,
+                                                        const moe::ModelConfig& model) {
+  std::vector<std::vector<double>> freq(model.num_layers,
+                                        std::vector<double>(model.num_routed_experts, 0.0));
+  for (const auto& step : trace.steps) {
+    HYBRIMOE_REQUIRE(step.layers.size() == model.num_layers,
+                     "trace/model layer count mismatch");
+    for (std::size_t l = 0; l < step.layers.size(); ++l) {
+      const auto& routing = step.layers[l];
+      for (std::size_t e = 0; e < routing.loads.size(); ++e)
+        if (routing.loads[e] > 0) freq[l][e] += 1.0;
+    }
+  }
+  return freq;
+}
+
+void TraceGenParams::validate() const {
+  HYBRIMOE_REQUIRE(d_latent >= 4, "d_latent too small for meaningful gates");
+  HYBRIMOE_REQUIRE(token_rho >= 0.0 && token_rho < 1.0, "token_rho must be in [0,1)");
+  HYBRIMOE_REQUIRE(prompt_rho >= 0.0 && prompt_rho < 1.0, "prompt_rho must be in [0,1)");
+  HYBRIMOE_REQUIRE(layer_drift >= 0.0, "layer_drift must be non-negative");
+  HYBRIMOE_REQUIRE(gate_temperature > 0.0, "gate_temperature must be positive");
+  HYBRIMOE_REQUIRE(expert_bias_std >= 0.0, "expert_bias_std must be non-negative");
+}
+
+namespace {
+
+void normalize(std::vector<float>& v) {
+  const double norm = hybrimoe::kernels::l2_norm(v);
+  if (norm <= 0.0) return;
+  const auto inv = static_cast<float>(1.0 / norm);
+  for (float& x : v) x *= inv;
+}
+
+}  // namespace
+
+TraceGenerator::TraceGenerator(const moe::ModelConfig& model, TraceGenParams params)
+    : model_(model),
+      params_(params),
+      gates_(model, params.d_latent, params.effective_gate_seed()),
+      router_(model.num_routed_experts, model.top_k),
+      rng_(params.seed) {
+  params_.validate();
+  model_.validate();
+  // Popularity biases belong to the model instance, not the token stream:
+  // derive them from the gate seed so reset() keeps them fixed.
+  util::Rng bias_rng(params_.effective_gate_seed() ^ 0xB1A5ULL);
+  biases_.resize(model_.num_layers);
+  for (auto& layer_bias : biases_) {
+    layer_bias.resize(model_.num_routed_experts);
+    for (float& b : layer_bias)
+      b = static_cast<float>(bias_rng.gaussian(0.0, params_.expert_bias_std));
+  }
+  token_latent_.resize(params_.d_latent);
+  for (float& x : token_latent_) x = static_cast<float>(rng_.gaussian());
+  normalize(token_latent_);
+}
+
+void TraceGenerator::reset(std::uint64_t seed) {
+  rng_.reseed(seed);
+  for (float& x : token_latent_) x = static_cast<float>(rng_.gaussian());
+  normalize(token_latent_);
+}
+
+void TraceGenerator::advance_token_latent(double rho) {
+  const double innovation = std::sqrt(std::max(0.0, 1.0 - rho * rho));
+  for (float& x : token_latent_)
+    x = static_cast<float>(rho * x + innovation * rng_.gaussian());
+  normalize(token_latent_);
+}
+
+std::vector<std::vector<float>> TraceGenerator::roll_layers(const std::vector<float>& h0) {
+  std::vector<std::vector<float>> hiddens;
+  hiddens.reserve(model_.num_layers);
+  std::vector<float> h = h0;
+  for (std::size_t l = 0; l < model_.num_layers; ++l) {
+    hiddens.push_back(h);
+    for (float& x : h) x += static_cast<float>(params_.layer_drift * rng_.gaussian());
+    normalize(h);
+  }
+  return hiddens;
+}
+
+ForwardTrace TraceGenerator::trace_from_hiddens(
+    const std::vector<std::vector<std::vector<float>>>& hiddens) {
+  const std::size_t tokens = hiddens.size();
+  HYBRIMOE_ASSERT(tokens > 0, "trace_from_hiddens needs at least one token");
+  const std::size_t layers = model_.num_layers;
+  const std::size_t experts = model_.num_routed_experts;
+
+  ForwardTrace trace;
+  trace.tokens = tokens;
+  trace.layers.reserve(layers);
+  trace.predictions.resize(layers);
+
+  // Gather per-layer logits of every token, then aggregate via the router.
+  std::vector<float> logits_buffer(tokens * experts);
+  auto batch_route = [&](std::size_t gate_layer, std::size_t hidden_layer) {
+    const auto& bias = biases_[gate_layer];
+    for (std::size_t t = 0; t < tokens; ++t) {
+      auto logits = gates_.logits(gate_layer, hiddens[t][hidden_layer],
+                                  params_.gate_temperature);
+      for (std::size_t e = 0; e < experts; ++e) logits[e] += bias[e];
+      std::copy(logits.begin(), logits.end(),
+                logits_buffer.begin() + static_cast<std::ptrdiff_t>(t * experts));
+    }
+    return router_.route_batch(logits_buffer, tokens);
+  };
+
+  for (std::size_t l = 0; l < layers; ++l) {
+    trace.layers.push_back(batch_route(l, l));
+    const std::size_t depth = std::min(params_.lookahead, layers - 1 - l);
+    trace.predictions[l].reserve(depth);
+    for (std::size_t d = 1; d <= depth; ++d) {
+      // Layer l+d's gate evaluated on the hidden state available at layer l.
+      trace.predictions[l].push_back(batch_route(l + d, l));
+    }
+  }
+  return trace;
+}
+
+PrefillTrace TraceGenerator::generate_prefill(std::size_t tokens) {
+  HYBRIMOE_REQUIRE(tokens > 0, "prefill needs at least one token");
+  std::vector<std::vector<std::vector<float>>> hiddens;
+  hiddens.reserve(tokens);
+  for (std::size_t t = 0; t < tokens; ++t) {
+    advance_token_latent(params_.prompt_rho);
+    hiddens.push_back(roll_layers(token_latent_));
+  }
+  PrefillTrace trace;
+  trace.prompt_tokens = tokens;
+  trace.forward = trace_from_hiddens(hiddens);
+  return trace;
+}
+
+DecodeTrace TraceGenerator::generate_decode(std::size_t steps) {
+  HYBRIMOE_REQUIRE(steps > 0, "decode needs at least one step");
+  DecodeTrace trace;
+  trace.steps.reserve(steps);
+  for (std::size_t s = 0; s < steps; ++s) {
+    advance_token_latent(params_.token_rho);
+    std::vector<std::vector<std::vector<float>>> hiddens;
+    hiddens.push_back(roll_layers(token_latent_));
+    trace.steps.push_back(trace_from_hiddens(hiddens));
+  }
+  return trace;
+}
+
+DecodeTrace TraceGenerator::generate_decode_batch(std::size_t steps, std::size_t batch) {
+  HYBRIMOE_REQUIRE(steps > 0, "decode needs at least one step");
+  HYBRIMOE_REQUIRE(batch > 0, "batch must be positive");
+  // Independent per-session latents seeded from this generator's stream.
+  std::vector<std::vector<float>> latents(batch,
+                                          std::vector<float>(params_.d_latent));
+  for (auto& h : latents) {
+    for (float& x : h) x = static_cast<float>(rng_.gaussian());
+    normalize(h);
+  }
+  const double rho = params_.token_rho;
+  const double innovation = std::sqrt(std::max(0.0, 1.0 - rho * rho));
+
+  DecodeTrace trace;
+  trace.steps.reserve(steps);
+  for (std::size_t s = 0; s < steps; ++s) {
+    std::vector<std::vector<std::vector<float>>> hiddens;
+    hiddens.reserve(batch);
+    for (auto& h : latents) {
+      for (float& x : h)
+        x = static_cast<float>(rho * x + innovation * rng_.gaussian());
+      normalize(h);
+      hiddens.push_back(roll_layers(h));
+    }
+    trace.steps.push_back(trace_from_hiddens(hiddens));
+  }
+  return trace;
+}
+
+}  // namespace hybrimoe::workload

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file generator.hpp
+/// Latent-state synthetic trace generator — the substitute for routing real
+/// prompts through real model weights.
+///
+/// Model: every token carries a unit-norm latent vector h. Across decode
+/// steps (and prompt positions) h follows an AR(1) process with coefficient
+/// `token_rho` — semantic continuity makes consecutive tokens route
+/// similarly, which is what gives caching its temporal signal (paper
+/// Fig. 3b). Within a forward pass, h drifts by `layer_drift` noise between
+/// layers — the residual stream changes slowly, which is what makes
+/// evaluating layer l+d's gate on layer l's hidden state a useful prediction
+/// (paper Fig. 6) without being perfect.
+///
+/// Each layer owns a fixed random gate (moe::GateSet). Sharpness of the
+/// routing distribution is controlled by `gate_temperature`; lower values
+/// concentrate activations (MoE models sit far flatter than neuron-sparse
+/// models — compare Fig. 3a).
+
+#include <cstdint>
+
+#include "moe/gating.hpp"
+#include "workload/trace.hpp"
+
+namespace hybrimoe::workload {
+
+struct TraceGenParams {
+  std::size_t d_latent = 32;
+  double token_rho = 0.975;        ///< AR(1) coefficient across decode steps
+  double prompt_rho = 0.82;       ///< AR(1) coefficient across prompt positions
+  double layer_drift = 0.04;      ///< hidden-state noise per layer crossing
+  double gate_temperature = 0.22; ///< softmax temperature of the gates
+  /// Stddev of a fixed per-(layer, expert) logit bias — stable expert
+  /// popularity. Kept mild: the paper's Fig. 3(a) shows MoE activations are
+  /// near-uniform (nothing like neuron-level hot spots), yet a little skew
+  /// is what frequency-based placements (kTransformers) exploit.
+  double expert_bias_std = 0.15;
+  std::size_t lookahead = 3;      ///< prediction depth stored in traces
+  std::uint64_t seed = 42;
+  /// Seed of the gate matrices ("which model instance"); 0 derives it from
+  /// `seed`. Keep it fixed while varying `seed` to replay different token
+  /// streams through the same model (e.g. warmup vs evaluation traces).
+  std::uint64_t gate_seed = 0;
+
+  [[nodiscard]] std::uint64_t effective_gate_seed() const noexcept {
+    return gate_seed != 0 ? gate_seed : (seed ^ 0xC0FFEEULL);
+  }
+
+  void validate() const;
+};
+
+/// Deterministic generator for one (model, params) pair.
+class TraceGenerator {
+ public:
+  TraceGenerator(const moe::ModelConfig& model, TraceGenParams params);
+
+  [[nodiscard]] const moe::ModelConfig& model() const noexcept { return model_; }
+  [[nodiscard]] const TraceGenParams& params() const noexcept { return params_; }
+  [[nodiscard]] const moe::GateSet& gates() const noexcept { return gates_; }
+
+  /// One prefill forward of `tokens` prompt positions.
+  [[nodiscard]] PrefillTrace generate_prefill(std::size_t tokens);
+
+  /// `steps` single-token decode forwards continuing the latent process.
+  [[nodiscard]] DecodeTrace generate_decode(std::size_t steps);
+
+  /// Batched decode: `batch` independent sessions advance one token per
+  /// step (continuous-batching serving). Each session carries its own AR(1)
+  /// latent, so expert loads per layer range over [top_k, batch*top_k] —
+  /// the workload regime the paper's prefill/decode dichotomy brackets.
+  [[nodiscard]] DecodeTrace generate_decode_batch(std::size_t steps,
+                                                  std::size_t batch);
+
+  /// Reset the latent process (fresh conversation), keeping the gates fixed.
+  void reset(std::uint64_t seed);
+
+ private:
+  /// Evolve the persistent token latent by one AR(1) step.
+  void advance_token_latent(double rho);
+  /// Run one token's latent through all layers; returns per-layer hiddens.
+  [[nodiscard]] std::vector<std::vector<float>> roll_layers(
+      const std::vector<float>& h0);
+  /// Build a ForwardTrace from per-token, per-layer hidden states.
+  [[nodiscard]] ForwardTrace trace_from_hiddens(
+      const std::vector<std::vector<std::vector<float>>>& hiddens);
+
+  moe::ModelConfig model_;
+  TraceGenParams params_;
+  moe::GateSet gates_;
+  moe::Router router_;
+  util::Rng rng_;
+  std::vector<float> token_latent_;  ///< persistent AR(1) state
+  /// biases_[layer][expert]: fixed popularity offsets added to gate logits.
+  std::vector<std::vector<float>> biases_;
+};
+
+}  // namespace hybrimoe::workload

@@ -1,0 +1,40 @@
+#include "workload/sparsity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace hybrimoe::workload {
+
+std::vector<double> zipf_frequencies(std::size_t n, double s, double q) {
+  HYBRIMOE_REQUIRE(n > 0, "zipf_frequencies requires n > 0");
+  HYBRIMOE_REQUIRE(s > 0.0, "zipf exponent must be positive");
+  HYBRIMOE_REQUIRE(q >= 0.0, "zipf offset must be non-negative");
+  std::vector<double> freq(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    freq[i] = 1.0 / std::pow(static_cast<double>(i + 1) + q, s);
+    total += freq[i];
+  }
+  for (double& f : freq) f /= total;
+  return freq;
+}
+
+double top_share(const std::vector<double>& frequencies, double fraction) {
+  HYBRIMOE_REQUIRE(!frequencies.empty(), "top_share of empty vector");
+  HYBRIMOE_REQUIRE(fraction >= 0.0 && fraction <= 1.0, "fraction must be in [0,1]");
+  std::vector<double> sorted = frequencies;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const auto take = static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(sorted.size())));
+  const double total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  return std::accumulate(sorted.begin(),
+                         sorted.begin() + static_cast<std::ptrdiff_t>(take), 0.0) /
+         total;
+}
+
+}  // namespace hybrimoe::workload

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file trace.hpp
+/// Routing traces consumed by the inference engines. A trace is everything
+/// an offloading framework observes at runtime: per-layer expert loads and
+/// routing scores for each forward pass, plus — for prefetch-capable
+/// frameworks — the *predicted* routings of upcoming layers obtained by
+/// evaluating their gates on the current hidden state (the paper's Fig. 6
+/// mechanism: "reusing the gating information from those layers").
+
+#include <cstddef>
+#include <vector>
+
+#include "moe/model_config.hpp"
+#include "moe/router.hpp"
+#include "util/assert.hpp"
+
+namespace hybrimoe::workload {
+
+/// One forward pass through every MoE layer (a decode step, or the whole
+/// prefill batch).
+struct ForwardTrace {
+  std::size_t tokens = 0;
+  /// Actual routing per layer (size = num_layers).
+  std::vector<moe::LayerRouting> layers;
+  /// predictions[l][d] = routing of layer l+d+1 as predicted from the hidden
+  /// state available at layer l. Rows are trimmed near the last layers.
+  std::vector<std::vector<moe::LayerRouting>> predictions;
+
+  [[nodiscard]] std::size_t num_layers() const noexcept { return layers.size(); }
+
+  /// Predicted routing for `target` layer as seen from `from` layer, or
+  /// nullptr when the trace holds no such prediction.
+  [[nodiscard]] const moe::LayerRouting* prediction(std::size_t from,
+                                                    std::size_t target) const {
+    if (from >= predictions.size() || target <= from) return nullptr;
+    const std::size_t d = target - from - 1;
+    if (d >= predictions[from].size()) return nullptr;
+    return &predictions[from][d];
+  }
+};
+
+/// A prefill request: one (multi-token) forward pass.
+struct PrefillTrace {
+  std::size_t prompt_tokens = 0;
+  ForwardTrace forward;
+};
+
+/// A decode phase: one single-token forward per generated token.
+struct DecodeTrace {
+  std::vector<ForwardTrace> steps;
+
+  [[nodiscard]] std::size_t num_steps() const noexcept { return steps.size(); }
+};
+
+/// Aggregate per-expert activation counts over a decode trace — the raw
+/// material of the paper's Fig. 3(a) CDF and the kTransformers-style static
+/// frequency pinning.
+[[nodiscard]] std::vector<std::vector<double>> activation_frequencies(
+    const DecodeTrace& trace, const moe::ModelConfig& model);
+
+}  // namespace hybrimoe::workload

@@ -1,0 +1,195 @@
+#include "workload/trace_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace hybrimoe::workload {
+
+namespace {
+
+void write_routing(std::ostream& os, const moe::LayerRouting& routing) {
+  os << "routing tokens=" << routing.total_tokens << " experts="
+     << routing.loads.size() << "\nloads";
+  for (const auto l : routing.loads) os << ' ' << l;
+  os << "\nscores" << std::setprecision(9);
+  for (const auto s : routing.scores) os << ' ' << s;
+  os << '\n';
+}
+
+void write_forward(std::ostream& os, const ForwardTrace& forward) {
+  os << "forward tokens=" << forward.tokens << " layers=" << forward.num_layers()
+     << '\n';
+  for (std::size_t l = 0; l < forward.num_layers(); ++l) {
+    os << "layer " << l << '\n';
+    write_routing(os, forward.layers[l]);
+    os << "predictions " << forward.predictions[l].size() << '\n';
+    for (const auto& pred : forward.predictions[l]) write_routing(os, pred);
+  }
+}
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::invalid_argument("malformed trace: " + what);
+}
+
+std::string expect_token(std::istream& is, const std::string& expected) {
+  std::string token;
+  if (!(is >> token)) malformed("unexpected end of input, wanted '" + expected + "'");
+  if (!expected.empty() && token != expected)
+    malformed("expected '" + expected + "', got '" + token + "'");
+  return token;
+}
+
+std::size_t expect_kv(std::istream& is, const std::string& key) {
+  std::string token;
+  if (!(is >> token)) malformed("unexpected end of input, wanted " + key);
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || token.substr(0, eq) != key)
+    malformed("expected " + key + "=<n>, got '" + token + "'");
+  try {
+    return std::stoull(token.substr(eq + 1));
+  } catch (const std::exception&) {
+    malformed("bad number in '" + token + "'");
+  }
+}
+
+moe::LayerRouting read_routing(std::istream& is) {
+  expect_token(is, "routing");
+  moe::LayerRouting routing;
+  routing.total_tokens = expect_kv(is, "tokens");
+  const std::size_t experts = expect_kv(is, "experts");
+  expect_token(is, "loads");
+  routing.loads.resize(experts);
+  for (auto& l : routing.loads)
+    if (!(is >> l)) malformed("truncated loads");
+  expect_token(is, "scores");
+  routing.scores.resize(experts);
+  for (auto& s : routing.scores)
+    if (!(is >> s)) malformed("truncated scores");
+  return routing;
+}
+
+ForwardTrace read_forward(std::istream& is) {
+  expect_token(is, "forward");
+  ForwardTrace forward;
+  forward.tokens = expect_kv(is, "tokens");
+  const std::size_t layers = expect_kv(is, "layers");
+  forward.layers.reserve(layers);
+  forward.predictions.resize(layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    expect_token(is, "layer");
+    std::size_t index = 0;
+    if (!(is >> index) || index != l) malformed("layer index mismatch");
+    forward.layers.push_back(read_routing(is));
+    expect_token(is, "predictions");
+    std::size_t count = 0;
+    if (!(is >> count)) malformed("missing prediction count");
+    for (std::size_t d = 0; d < count; ++d)
+      forward.predictions[l].push_back(read_routing(is));
+  }
+  return forward;
+}
+
+void write_header(std::ostream& os, const char* kind) {
+  os << "HYBRIMOE-TRACE v" << kTraceFormatVersion << ' ' << kind << '\n';
+}
+
+void read_header(std::istream& is, const std::string& kind) {
+  expect_token(is, "HYBRIMOE-TRACE");
+  const std::string version = expect_token(is, "");
+  if (version != "v" + std::to_string(kTraceFormatVersion))
+    malformed("unsupported version '" + version + "'");
+  expect_token(is, kind);
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const DecodeTrace& trace) {
+  write_header(os, "decode");
+  os << "steps " << trace.num_steps() << '\n';
+  for (const auto& step : trace.steps) write_forward(os, step);
+}
+
+void write_trace(std::ostream& os, const PrefillTrace& trace) {
+  write_header(os, "prefill");
+  os << "prompt " << trace.prompt_tokens << '\n';
+  write_forward(os, trace.forward);
+}
+
+DecodeTrace read_decode_trace(std::istream& is) {
+  read_header(is, "decode");
+  expect_token(is, "steps");
+  std::size_t steps = 0;
+  if (!(is >> steps)) malformed("missing step count");
+  DecodeTrace trace;
+  trace.steps.reserve(steps);
+  for (std::size_t s = 0; s < steps; ++s) trace.steps.push_back(read_forward(is));
+  return trace;
+}
+
+PrefillTrace read_prefill_trace(std::istream& is) {
+  read_header(is, "prefill");
+  expect_token(is, "prompt");
+  PrefillTrace trace;
+  if (!(is >> trace.prompt_tokens)) malformed("missing prompt length");
+  trace.forward = read_forward(is);
+  return trace;
+}
+
+std::string to_string(const DecodeTrace& trace) {
+  std::ostringstream os;
+  write_trace(os, trace);
+  return os.str();
+}
+
+std::string to_string(const PrefillTrace& trace) {
+  std::ostringstream os;
+  write_trace(os, trace);
+  return os.str();
+}
+
+DecodeTrace decode_trace_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_decode_trace(is);
+}
+
+PrefillTrace prefill_trace_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_prefill_trace(is);
+}
+
+namespace {
+
+template <typename Trace>
+void save_impl(const std::string& path, const Trace& trace) {
+  std::ofstream os(path);
+  HYBRIMOE_REQUIRE(os.good(), "cannot open '" + path + "' for writing");
+  write_trace(os, trace);
+  HYBRIMOE_REQUIRE(os.good(), "write to '" + path + "' failed");
+}
+
+}  // namespace
+
+void save_trace(const std::string& path, const DecodeTrace& trace) {
+  save_impl(path, trace);
+}
+
+void save_trace(const std::string& path, const PrefillTrace& trace) {
+  save_impl(path, trace);
+}
+
+DecodeTrace load_decode_trace(const std::string& path) {
+  std::ifstream is(path);
+  HYBRIMOE_REQUIRE(is.good(), "cannot open '" + path + "' for reading");
+  return read_decode_trace(is);
+}
+
+PrefillTrace load_prefill_trace(const std::string& path) {
+  std::ifstream is(path);
+  HYBRIMOE_REQUIRE(is.good(), "cannot open '" + path + "' for reading");
+  return read_prefill_trace(is);
+}
+
+}  // namespace hybrimoe::workload

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file trace_io.hpp
+/// Record / replay for routing traces. Real deployments capture gate outputs
+/// from production serving and replay them offline against candidate
+/// scheduling policies; this module provides the same workflow for synthetic
+/// traces. The format is line-oriented text — diffable, versioned, and
+/// stable across platforms (values are printed with full float precision).
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace.hpp"
+
+namespace hybrimoe::workload {
+
+/// Current format version; parsers reject anything else.
+inline constexpr int kTraceFormatVersion = 1;
+
+void write_trace(std::ostream& os, const DecodeTrace& trace);
+void write_trace(std::ostream& os, const PrefillTrace& trace);
+
+/// Parse a decode trace; throws std::invalid_argument on malformed input.
+[[nodiscard]] DecodeTrace read_decode_trace(std::istream& is);
+/// Parse a prefill trace; throws std::invalid_argument on malformed input.
+[[nodiscard]] PrefillTrace read_prefill_trace(std::istream& is);
+
+/// Convenience string round-trips.
+[[nodiscard]] std::string to_string(const DecodeTrace& trace);
+[[nodiscard]] std::string to_string(const PrefillTrace& trace);
+[[nodiscard]] DecodeTrace decode_trace_from_string(const std::string& text);
+[[nodiscard]] PrefillTrace prefill_trace_from_string(const std::string& text);
+
+/// File helpers (throw std::invalid_argument on I/O failure).
+void save_trace(const std::string& path, const DecodeTrace& trace);
+void save_trace(const std::string& path, const PrefillTrace& trace);
+[[nodiscard]] DecodeTrace load_decode_trace(const std::string& path);
+[[nodiscard]] PrefillTrace load_prefill_trace(const std::string& path);
+
+}  // namespace hybrimoe::workload

@@ -1,0 +1,172 @@
+#include "cache/classic_policies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/expert_cache.hpp"
+
+namespace hybrimoe::cache {
+namespace {
+
+using moe::ExpertId;
+
+ExpertId id(std::uint16_t e) { return ExpertId{0, e}; }
+
+TEST(LruPolicyTest, EvictsOldestAccess) {
+  LruPolicy lru;
+  lru.on_insert(id(1));
+  lru.on_insert(id(2));
+  lru.on_insert(id(3));
+  lru.on_hit(id(1));  // 2 is now the oldest
+  const std::vector<ExpertId> candidates{id(1), id(2), id(3)};
+  EXPECT_EQ(lru.choose_victim(candidates), id(2));
+}
+
+TEST(LruPolicyTest, PriorityTracksRecency) {
+  LruPolicy lru;
+  lru.on_insert(id(1));
+  lru.on_insert(id(2));
+  EXPECT_GT(lru.priority(id(2)), lru.priority(id(1)));
+  lru.on_hit(id(1));
+  EXPECT_GT(lru.priority(id(1)), lru.priority(id(2)));
+}
+
+TEST(LfuPolicyTest, EvictsLeastFrequent) {
+  LfuPolicy lfu;
+  lfu.on_insert(id(1));
+  lfu.on_insert(id(2));
+  lfu.on_hit(id(1));
+  lfu.on_hit(id(1));
+  lfu.on_hit(id(2));
+  const std::vector<ExpertId> candidates{id(1), id(2)};
+  EXPECT_EQ(lfu.choose_victim(candidates), id(2));
+  EXPECT_GT(lfu.priority(id(1)), lfu.priority(id(2)));
+}
+
+TEST(LfuPolicyTest, FrequencyPersistsAcrossResidency) {
+  LfuPolicy lfu;
+  lfu.on_insert(id(1));
+  lfu.on_hit(id(1));
+  lfu.on_evict(id(1));
+  lfu.on_insert(id(1));  // frequency counter keeps history
+  lfu.on_insert(id(2));
+  const std::vector<ExpertId> candidates{id(1), id(2)};
+  EXPECT_EQ(lfu.choose_victim(candidates), id(2));
+}
+
+TEST(LfuPolicyTest, TieBreaksByRecency) {
+  LfuPolicy lfu;
+  lfu.on_insert(id(1));
+  lfu.on_insert(id(2));  // equal counts; 1 is older
+  const std::vector<ExpertId> candidates{id(1), id(2)};
+  EXPECT_EQ(lfu.choose_victim(candidates), id(1));
+}
+
+TEST(FifoPolicyTest, EvictsInInsertionOrderIgnoringHits) {
+  FifoPolicy fifo;
+  fifo.on_insert(id(1));
+  fifo.on_insert(id(2));
+  fifo.on_hit(id(1));  // must not refresh
+  const std::vector<ExpertId> candidates{id(1), id(2)};
+  EXPECT_EQ(fifo.choose_victim(candidates), id(1));
+}
+
+TEST(RandomPolicyTest, DeterministicForSeedAndWithinCandidates) {
+  RandomPolicy a(9);
+  RandomPolicy b(9);
+  const std::vector<ExpertId> candidates{id(1), id(2), id(3), id(4)};
+  for (int i = 0; i < 20; ++i) {
+    const auto va = a.choose_victim(candidates);
+    EXPECT_EQ(va, b.choose_victim(candidates));
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(), va), candidates.end());
+  }
+}
+
+TEST(BeladyPolicyTest, EvictsFarthestNextUse) {
+  // Reference string: 1 2 3 1 2 3 ... expert 3 used last after position 2.
+  const std::vector<ExpertId> refs{id(1), id(2), id(3), id(1), id(2), id(3)};
+  BeladyPolicy belady(refs);
+  belady.on_reference(id(1));
+  belady.on_reference(id(2));
+  belady.on_reference(id(3));
+  // Next uses now: 1 -> pos3, 2 -> pos4, 3 -> pos5.
+  const std::vector<ExpertId> candidates{id(1), id(2), id(3)};
+  EXPECT_EQ(belady.choose_victim(candidates), id(3));
+}
+
+TEST(BeladyPolicyTest, NeverUsedAgainEvictedFirst) {
+  const std::vector<ExpertId> refs{id(1), id(2), id(1)};
+  BeladyPolicy belady(refs);
+  belady.on_reference(id(1));
+  belady.on_reference(id(2));
+  const std::vector<ExpertId> candidates{id(1), id(2)};
+  EXPECT_EQ(belady.choose_victim(candidates), id(2));  // 2 never recurs
+}
+
+TEST(BeladyPolicyTest, DivergingStreamThrows) {
+  const std::vector<ExpertId> refs{id(1), id(2)};
+  BeladyPolicy belady(refs);
+  belady.on_reference(id(1));
+  EXPECT_THROW(belady.on_reference(id(3)), std::invalid_argument);
+}
+
+TEST(PolicyTest, EmptyCandidatesThrowEverywhere) {
+  const std::vector<ExpertId> empty;
+  LruPolicy lru;
+  EXPECT_THROW((void)lru.choose_victim(empty), std::invalid_argument);
+  LfuPolicy lfu;
+  EXPECT_THROW((void)lfu.choose_victim(empty), std::invalid_argument);
+  FifoPolicy fifo;
+  EXPECT_THROW((void)fifo.choose_victim(empty), std::invalid_argument);
+  RandomPolicy rnd;
+  EXPECT_THROW((void)rnd.choose_victim(empty), std::invalid_argument);
+  BeladyPolicy belady({});
+  EXPECT_THROW((void)belady.choose_victim(empty), std::invalid_argument);
+}
+
+/// Belady is optimal: on any reference string its hit rate is >= LRU's.
+/// (Classic result; checked empirically on deterministic pseudo-random
+/// strings across several capacities.)
+class BeladyOptimalityTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BeladyOptimalityTest, BeatsOrMatchesLru) {
+  const std::size_t capacity = GetParam();
+  util::Rng rng(capacity * 7919);
+  std::vector<ExpertId> refs;
+  for (int i = 0; i < 2000; ++i)
+    refs.push_back(id(static_cast<std::uint16_t>(rng.uniform_index(24))));
+
+  auto run = [&](std::unique_ptr<CachePolicy> policy) {
+    ExpertCache cache(capacity, std::move(policy));
+    for (const auto& r : refs)
+      if (!cache.lookup(r)) (void)cache.insert(r);
+    return cache.stats().hit_rate();
+  };
+  const double lru = run(std::make_unique<LruPolicy>());
+  const double belady = run(std::make_unique<BeladyPolicy>(refs));
+  EXPECT_GE(belady, lru - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, BeladyOptimalityTest,
+                         ::testing::Values(2, 4, 8, 12, 16, 20));
+
+/// LRU is a stack algorithm: hit rate is monotone in capacity.
+TEST(LruStackPropertyTest, HitRateMonotoneInCapacity) {
+  util::Rng rng(4242);
+  std::vector<ExpertId> refs;
+  for (int i = 0; i < 3000; ++i)
+    refs.push_back(id(static_cast<std::uint16_t>(rng.uniform_index(32))));
+  double prev = -1.0;
+  for (const std::size_t capacity : {2UL, 4UL, 8UL, 16UL, 24UL, 32UL}) {
+    ExpertCache cache(capacity, std::make_unique<LruPolicy>());
+    for (const auto& r : refs)
+      if (!cache.lookup(r)) (void)cache.insert(r);
+    const double rate = cache.stats().hit_rate();
+    EXPECT_GE(rate, prev - 1e-12) << "capacity " << capacity;
+    prev = rate;
+  }
+}
+
+}  // namespace
+}  // namespace hybrimoe::cache

@@ -1,0 +1,137 @@
+#include "cache/mrs_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hybrimoe::cache {
+namespace {
+
+using moe::ExpertId;
+
+TEST(MrsParamsTest, Validation) {
+  MrsPolicy::Params p;
+  p.alpha = 0.0;
+  EXPECT_THROW(MrsPolicy{p}, std::invalid_argument);
+  p.alpha = 1.1;
+  EXPECT_THROW(MrsPolicy{p}, std::invalid_argument);
+  p = {};
+  p.top_p_factor = 0;
+  EXPECT_THROW(MrsPolicy{p}, std::invalid_argument);
+  EXPECT_NO_THROW(MrsPolicy{MrsPolicy::Params{}});
+}
+
+TEST(MrsPolicyTest, Eq3UpdateMath) {
+  MrsPolicy::Params p;
+  p.alpha = 0.5;
+  p.top_p_factor = 2;  // with top_k = 1 -> p = 2
+  MrsPolicy mrs(p);
+  const std::vector<float> scores{0.6f, 0.3f, 0.1f};
+  mrs.on_scores(0, scores, /*top_k=*/1);
+  // Top-2 kept: experts 0 and 1; expert 2 zeroed.
+  EXPECT_NEAR(mrs.score({0, 0}), 0.5 * 0.6, 1e-6);
+  EXPECT_NEAR(mrs.score({0, 1}), 0.5 * 0.3, 1e-6);
+  EXPECT_NEAR(mrs.score({0, 2}), 0.0, 1e-9);
+  // Second iteration with different scores: EMA decay applies everywhere.
+  const std::vector<float> scores2{0.1f, 0.6f, 0.3f};
+  mrs.on_scores(0, scores2, 1);
+  EXPECT_NEAR(mrs.score({0, 0}), 0.5 * 0.0 + 0.5 * 0.30, 1e-6);  // dropped out of top-p
+  EXPECT_NEAR(mrs.score({0, 1}), 0.5 * 0.6 + 0.5 * 0.15, 1e-6);
+  EXPECT_NEAR(mrs.score({0, 2}), 0.5 * 0.3 + 0.5 * 0.0, 1e-6);
+}
+
+TEST(MrsPolicyTest, TopPKeepsExactlyPEntriesUnderTies) {
+  MrsPolicy::Params p;
+  p.alpha = 1.0;  // S == TopP(s)
+  p.top_p_factor = 1;
+  MrsPolicy mrs(p);
+  // Four equal scores, top_k = 2 -> p = 2: exactly two keep their score.
+  const std::vector<float> scores{0.25f, 0.25f, 0.25f, 0.25f};
+  mrs.on_scores(3, scores, 2);
+  int kept = 0;
+  for (std::uint16_t e = 0; e < 4; ++e)
+    if (mrs.score({3, e}) > 0.0) ++kept;
+  EXPECT_EQ(kept, 2);
+  // Ties admitted in index order.
+  EXPECT_GT(mrs.score({3, 0}), 0.0);
+  EXPECT_GT(mrs.score({3, 1}), 0.0);
+}
+
+TEST(MrsPolicyTest, MixedTiesAboveThresholdAllKept) {
+  MrsPolicy::Params p;
+  p.alpha = 1.0;
+  p.top_p_factor = 1;
+  MrsPolicy mrs(p);
+  // p = 2; one strictly-greater entry late in the array plus two ties.
+  const std::vector<float> scores{0.3f, 0.3f, 0.9f};
+  mrs.on_scores(0, scores, 2);
+  EXPECT_GT(mrs.score({0, 2}), 0.0);  // strictly above threshold always kept
+  const int kept = (mrs.score({0, 0}) > 0.0) + (mrs.score({0, 1}) > 0.0) +
+                   (mrs.score({0, 2}) > 0.0);
+  EXPECT_EQ(kept, 2);
+}
+
+TEST(MrsPolicyTest, VictimIsMinimumScore) {
+  MrsPolicy mrs;
+  const std::vector<float> scores{0.5f, 0.3f, 0.15f, 0.05f};
+  mrs.on_scores(0, scores, 1);  // p = 2: experts 0,1 scored; 2,3 zero
+  const std::vector<ExpertId> candidates{{0, 0}, {0, 1}, {0, 2}};
+  EXPECT_EQ(mrs.choose_victim(candidates), (ExpertId{0, 2}));
+  const std::vector<ExpertId> top_two{{0, 0}, {0, 1}};
+  EXPECT_EQ(mrs.choose_victim(top_two), (ExpertId{0, 1}));
+}
+
+TEST(MrsPolicyTest, ScoresAreLayerLocal) {
+  MrsPolicy mrs;
+  const std::vector<float> scores{0.9f, 0.1f};
+  mrs.on_scores(2, scores, 1);
+  EXPECT_GT(mrs.score({2, 0}), 0.0);
+  EXPECT_EQ(mrs.score({3, 0}), 0.0);  // other layer untouched
+}
+
+TEST(MrsPolicyTest, UnseenExpertScoresZero) {
+  MrsPolicy mrs;
+  EXPECT_EQ(mrs.score({7, 7}), 0.0);
+  EXPECT_EQ(mrs.priority({7, 7}), 0.0);
+}
+
+TEST(MrsPolicyTest, HighScoreNotActivatedStillRetained) {
+  // The paper's key observation: an expert with a high score that was NOT
+  // activated should outrank a low-score expert that was. MRS sees scores,
+  // not activations, so this falls out of Eq. 3.
+  MrsPolicy mrs;
+  // top_k = 2, p = 4. Expert 2 scores just below the activation cut
+  // repeatedly; expert 3 scores low.
+  const std::vector<float> scores{0.4f, 0.3f, 0.25f, 0.05f};
+  for (int i = 0; i < 5; ++i) mrs.on_scores(0, scores, 2);
+  EXPECT_GT(mrs.score({0, 2}), mrs.score({0, 3}));
+  const std::vector<ExpertId> candidates{{0, 2}, {0, 3}};
+  EXPECT_EQ(mrs.choose_victim(candidates), (ExpertId{0, 3}));
+}
+
+TEST(MrsPolicyTest, AlphaControlsMemoryLength) {
+  MrsPolicy::Params fast;
+  fast.alpha = 0.9;
+  MrsPolicy::Params slow;
+  slow.alpha = 0.1;
+  MrsPolicy mrs_fast(fast);
+  MrsPolicy mrs_slow(slow);
+  const std::vector<float> high{0.9f, 0.1f};
+  const std::vector<float> low{0.1f, 0.9f};
+  mrs_fast.on_scores(0, high, 1);
+  mrs_slow.on_scores(0, high, 1);
+  mrs_fast.on_scores(0, low, 1);
+  mrs_slow.on_scores(0, low, 1);
+  // After the flip, the fast policy forgot expert 0's history more.
+  EXPECT_LT(mrs_fast.score({0, 0}) / mrs_fast.score({0, 1}),
+            mrs_slow.score({0, 0}) / mrs_slow.score({0, 1}));
+}
+
+TEST(MrsPolicyTest, OnScoresValidatesTopK) {
+  MrsPolicy mrs;
+  const std::vector<float> scores{0.5f, 0.5f};
+  EXPECT_THROW(mrs.on_scores(0, scores, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hybrimoe::cache

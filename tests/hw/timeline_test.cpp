@@ -1,0 +1,87 @@
+#include "hw/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hybrimoe::hw {
+namespace {
+
+TEST(TimelineTest, SequentialScheduling) {
+  Timeline t(Resource::Cpu);
+  const auto a = t.schedule(0.0, 2.0, OpKind::CpuCompute);
+  EXPECT_DOUBLE_EQ(a.start, 0.0);
+  EXPECT_DOUBLE_EQ(a.end, 2.0);
+  // Next task cannot start before the first ends.
+  const auto b = t.schedule(1.0, 1.0, OpKind::CpuCompute);
+  EXPECT_DOUBLE_EQ(b.start, 2.0);
+  EXPECT_DOUBLE_EQ(b.end, 3.0);
+  EXPECT_DOUBLE_EQ(t.busy_until(), 3.0);
+}
+
+TEST(TimelineTest, RespectsEarliestConstraint) {
+  Timeline t(Resource::Gpu);
+  const auto a = t.schedule(5.0, 1.0, OpKind::GpuCompute);
+  EXPECT_DOUBLE_EQ(a.start, 5.0);
+  EXPECT_DOUBLE_EQ(t.busy_until(), 6.0);
+}
+
+TEST(TimelineTest, BusyAndIdleAccounting) {
+  Timeline t(Resource::Pcie);
+  (void)t.schedule(0.0, 2.0, OpKind::Transfer);
+  (void)t.schedule(3.0, 1.0, OpKind::Transfer);  // 1s gap
+  EXPECT_DOUBLE_EQ(t.busy_time(), 3.0);
+  EXPECT_DOUBLE_EQ(t.busy_until(), 4.0);
+  EXPECT_DOUBLE_EQ(t.utilization(6.0), 0.5);
+  EXPECT_DOUBLE_EQ(t.idle_before(10.0), 6.0);
+  EXPECT_DOUBLE_EQ(t.idle_before(2.0), 0.0);
+}
+
+TEST(TimelineTest, RejectsNegativeInputs) {
+  Timeline t(Resource::Cpu);
+  EXPECT_THROW((void)t.schedule(0.0, -1.0, OpKind::CpuCompute), std::invalid_argument);
+  EXPECT_THROW((void)t.schedule(-1.0, 1.0, OpKind::CpuCompute), std::invalid_argument);
+}
+
+TEST(TimelineTest, ClearResets) {
+  Timeline t(Resource::Cpu);
+  (void)t.schedule(0.0, 2.0, OpKind::CpuCompute);
+  t.clear();
+  EXPECT_DOUBLE_EQ(t.busy_until(), 0.0);
+  EXPECT_TRUE(t.intervals().empty());
+}
+
+TEST(TimelineSetTest, MakespanIsMaxAcrossResources) {
+  TimelineSet set;
+  (void)set.cpu.schedule(0.0, 2.0, OpKind::CpuCompute);
+  (void)set.gpu.schedule(0.0, 5.0, OpKind::GpuCompute);
+  (void)set.pcie.schedule(0.0, 3.0, OpKind::Transfer);
+  EXPECT_DOUBLE_EQ(set.makespan(), 5.0);
+  EXPECT_EQ(&set.of(Resource::Gpu), &set.gpu);
+  set.clear();
+  EXPECT_DOUBLE_EQ(set.makespan(), 0.0);
+}
+
+TEST(GanttTest, RendersAllLanes) {
+  TimelineSet set;
+  (void)set.cpu.schedule(0.0, 1.0, OpKind::CpuCompute, {0, 1}, 1);
+  (void)set.gpu.schedule(0.0, 2.0, OpKind::GpuCompute, {0, 2}, 1);
+  const std::string gantt = render_gantt(set, 40);
+  EXPECT_NE(gantt.find("CPU"), std::string::npos);
+  EXPECT_NE(gantt.find("GPU"), std::string::npos);
+  EXPECT_NE(gantt.find("PCIe"), std::string::npos);
+}
+
+TEST(GanttTest, EmptyScheduleHandled) {
+  TimelineSet set;
+  EXPECT_NE(render_gantt(set).find("empty"), std::string::npos);
+}
+
+TEST(EnumsTest, Names) {
+  EXPECT_STREQ(to_string(Resource::Cpu), "CPU");
+  EXPECT_STREQ(to_string(Resource::Gpu), "GPU");
+  EXPECT_STREQ(to_string(Resource::Pcie), "PCIe");
+  EXPECT_STREQ(to_string(OpKind::Transfer), "xfer");
+  EXPECT_STREQ(to_string(OpKind::Prefetch), "pref");
+}
+
+}  // namespace
+}  // namespace hybrimoe::hw

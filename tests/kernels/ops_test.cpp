@@ -1,0 +1,202 @@
+#include "kernels/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "kernels/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace hybrimoe::kernels {
+namespace {
+
+TEST(TensorTest, ZerosAndAccess) {
+  Tensor t(2, 3);
+  EXPECT_EQ(t.rows(), 2U);
+  EXPECT_EQ(t.cols(), 3U);
+  EXPECT_EQ(t.size(), 6U);
+  t.at(1, 2) = 5.0f;
+  EXPECT_EQ(t.at(1, 2), 5.0f);
+  EXPECT_EQ(t.row(1)[2], 5.0f);
+}
+
+TEST(TensorTest, OutOfRangeThrows) {
+  Tensor t(2, 3);
+  EXPECT_THROW((void)t.at(2, 0), std::invalid_argument);
+  EXPECT_THROW((void)t.at(0, 3), std::invalid_argument);
+  EXPECT_THROW((void)t.row(2), std::invalid_argument);
+}
+
+TEST(TensorTest, RandnIsDeterministicAndScaled) {
+  util::Rng rng1(5);
+  util::Rng rng2(5);
+  const Tensor a = Tensor::randn(rng1, 20, 30);
+  const Tensor b = Tensor::randn(rng2, 20, 30);
+  EXPECT_EQ(max_abs_diff(a.flat(), b.flat()), 0.0);
+  // fan-in init keeps row norms near 1.
+  double sq = 0.0;
+  for (const float v : a.flat()) sq += static_cast<double>(v) * v;
+  EXPECT_NEAR(sq / 20.0, 1.0, 0.3);
+}
+
+TEST(GemvTest, KnownValues) {
+  Tensor w(2, 3);
+  // [[1,2,3],[4,5,6]] * [1,1,1] = [6,15]
+  float vals[] = {1, 2, 3, 4, 5, 6};
+  std::copy(std::begin(vals), std::end(vals), w.flat().begin());
+  const std::vector<float> x{1.0f, 1.0f, 1.0f};
+  const auto y = gemv(w, x);
+  ASSERT_EQ(y.size(), 2U);
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+  EXPECT_FLOAT_EQ(y[1], 15.0f);
+}
+
+TEST(GemvTest, DimensionMismatchThrows) {
+  Tensor w(2, 3);
+  const std::vector<float> x{1.0f, 1.0f};
+  EXPECT_THROW((void)gemv(w, x), std::invalid_argument);
+}
+
+TEST(GemmTest, MatchesGemvColumnwise) {
+  util::Rng rng(7);
+  const Tensor a = Tensor::randn(rng, 5, 4);
+  const Tensor b = Tensor::randn(rng, 4, 3);
+  const Tensor c = gemm(a, b);
+  ASSERT_EQ(c.rows(), 5U);
+  ASSERT_EQ(c.cols(), 3U);
+  // Column j of C equals A * column j of B.
+  for (std::size_t j = 0; j < 3; ++j) {
+    std::vector<float> col(4);
+    for (std::size_t k = 0; k < 4; ++k) col[k] = b.at(k, j);
+    const auto expected = gemv(a, col);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(c.at(i, j), expected[i], 1e-4);
+  }
+}
+
+TEST(GemmTest, IdentityIsNoOp) {
+  util::Rng rng(8);
+  const Tensor a = Tensor::randn(rng, 3, 3);
+  Tensor eye(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) eye.at(i, i) = 1.0f;
+  const Tensor c = gemm(a, eye);
+  EXPECT_LT(max_abs_diff(a.flat(), c.flat()), 1e-6);
+}
+
+TEST(SoftmaxTest, SumsToOneAndOrders) {
+  std::vector<float> v{1.0f, 3.0f, 2.0f};
+  softmax_inplace(v);
+  EXPECT_NEAR(std::accumulate(v.begin(), v.end(), 0.0), 1.0, 1e-6);
+  EXPECT_GT(v[1], v[2]);
+  EXPECT_GT(v[2], v[0]);
+}
+
+TEST(SoftmaxTest, ShiftInvariance) {
+  std::vector<float> a{1.0f, 2.0f, 3.0f};
+  std::vector<float> b{101.0f, 102.0f, 103.0f};
+  softmax_inplace(a);
+  softmax_inplace(b);
+  EXPECT_LT(max_abs_diff(a, b), 1e-6);
+}
+
+TEST(SoftmaxTest, LargeInputsStable) {
+  std::vector<float> v{1000.0f, 999.0f};
+  softmax_inplace(v);
+  EXPECT_TRUE(std::isfinite(v[0]));
+  EXPECT_NEAR(v[0] + v[1], 1.0, 1e-6);
+}
+
+TEST(SoftmaxOverTest, RenormalisesOverSubset) {
+  const std::vector<float> logits{0.0f, 1.0f, 2.0f, 3.0f};
+  const std::vector<std::uint32_t> picks{3, 1};
+  const auto w = softmax_over(logits, picks);
+  ASSERT_EQ(w.size(), 2U);
+  EXPECT_NEAR(w[0] + w[1], 1.0, 1e-6);
+  EXPECT_NEAR(w[0] / w[1], std::exp(2.0), 1e-4);
+}
+
+TEST(TopkTest, MatchesSort) {
+  util::Rng rng(9);
+  std::vector<float> v(64);
+  for (float& x : v) x = static_cast<float>(rng.gaussian());
+  const auto top = topk_indices(v, 8);
+  ASSERT_EQ(top.size(), 8U);
+  for (std::size_t i = 1; i < top.size(); ++i)
+    EXPECT_GE(v[top[i - 1]], v[top[i]]);
+  // None of the remaining values beats the k-th.
+  for (std::size_t e = 0; e < v.size(); ++e) {
+    if (std::find(top.begin(), top.end(), e) != top.end()) continue;
+    EXPECT_LE(v[e], v[top.back()]);
+  }
+}
+
+TEST(TopkTest, TieBreaksByIndex) {
+  const std::vector<float> v{1.0f, 2.0f, 2.0f, 0.5f};
+  const auto top = topk_indices(v, 2);
+  EXPECT_EQ(top[0], 1U);
+  EXPECT_EQ(top[1], 2U);
+}
+
+TEST(TopkTest, RejectsBadK) {
+  const std::vector<float> v{1.0f};
+  EXPECT_THROW((void)topk_indices(v, 0), std::invalid_argument);
+  EXPECT_THROW((void)topk_indices(v, 2), std::invalid_argument);
+}
+
+TEST(SiluTest, KnownValues) {
+  std::vector<float> v{0.0f, 100.0f, -100.0f};
+  silu_inplace(v);
+  EXPECT_FLOAT_EQ(v[0], 0.0f);
+  EXPECT_NEAR(v[1], 100.0f, 1e-3);
+  EXPECT_NEAR(v[2], 0.0f, 1e-3);
+}
+
+TEST(SwigluTest, CombinesGateAndUp) {
+  const std::vector<float> gate{0.0f, 2.0f};
+  const std::vector<float> up{5.0f, 3.0f};
+  std::vector<float> out(2);
+  swiglu_combine(gate, up, out);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  const float silu2 = 2.0f / (1.0f + std::exp(-2.0f));
+  EXPECT_NEAR(out[1], silu2 * 3.0f, 1e-6);
+}
+
+TEST(RmsnormTest, ProducesUnitRms) {
+  std::vector<float> v{3.0f, 4.0f};
+  rmsnorm_inplace(v);
+  double sq = 0.0;
+  for (const float x : v) sq += static_cast<double>(x) * x;
+  EXPECT_NEAR(sq / 2.0, 1.0, 1e-4);
+}
+
+TEST(NormTest, L2AndMaxDiff) {
+  const std::vector<float> a{3.0f, 4.0f};
+  EXPECT_DOUBLE_EQ(l2_norm(a), 5.0);
+  const std::vector<float> b{3.0f, 6.0f};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 2.0);
+}
+
+// Property sweep: gemm(a, b) columns always match gemv over random shapes.
+class GemmShapeTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapeTest, ShapeAndConsistency) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(m * 1000 + k * 100 + n));
+  const Tensor a = Tensor::randn(rng, m, k);
+  const Tensor b = Tensor::randn(rng, k, n);
+  const Tensor c = gemm(a, b);
+  EXPECT_EQ(c.rows(), static_cast<std::size_t>(m));
+  EXPECT_EQ(c.cols(), static_cast<std::size_t>(n));
+  std::vector<float> col(static_cast<std::size_t>(k));
+  for (std::size_t kk = 0; kk < col.size(); ++kk) col[kk] = b.at(kk, 0);
+  const auto expected = gemv(a, col);
+  for (std::size_t i = 0; i < c.rows(); ++i) EXPECT_NEAR(c.at(i, 0), expected[i], 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmShapeTest,
+                         ::testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 8, 4},
+                                           std::tuple{7, 3, 5}, std::tuple{16, 16, 16},
+                                           std::tuple{31, 17, 9}));
+
+}  // namespace
+}  // namespace hybrimoe::kernels

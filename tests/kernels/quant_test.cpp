@@ -1,0 +1,133 @@
+#include "kernels/quant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/ops.hpp"
+#include "util/rng.hpp"
+
+namespace hybrimoe::kernels {
+namespace {
+
+TEST(Q4StorageTest, BytesPerBlock) {
+  // One block: 4-byte scale + 16 packed bytes.
+  EXPECT_EQ(q4_storage_bytes(32), 20U);
+  EXPECT_EQ(q4_storage_bytes(33), 40U);  // rounds up to two blocks
+  EXPECT_EQ(q4_storage_bytes(64), 40U);
+}
+
+TEST(Q4StorageTest, EffectiveBits) {
+  EXPECT_DOUBLE_EQ(q4_bits_per_value(), 5.0);  // 4 bits + fp32 scale / 32
+}
+
+TEST(Q4RoundTripTest, ErrorWithinBound) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> values(64);
+    float amax = 0.0f;
+    for (float& v : values) {
+      v = static_cast<float>(rng.gaussian(0.0, 2.0));
+      amax = std::max(amax, std::abs(v));
+    }
+    const auto blocks = q4_quantize_row(values);
+    const auto back = q4_dequantize_row(blocks, values.size());
+    const double bound = q4_error_bound(amax);
+    for (std::size_t i = 0; i < values.size(); ++i)
+      EXPECT_LE(std::abs(values[i] - back[i]), bound) << "index " << i;
+  }
+}
+
+TEST(Q4RoundTripTest, ZerosStayZero) {
+  const std::vector<float> values(40, 0.0f);
+  const auto blocks = q4_quantize_row(values);
+  const auto back = q4_dequantize_row(blocks, values.size());
+  for (const float v : back) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Q4RoundTripTest, PartialTailBlock) {
+  std::vector<float> values(37, 1.0f);
+  const auto blocks = q4_quantize_row(values);
+  EXPECT_EQ(blocks.size(), 2U);
+  const auto back = q4_dequantize_row(blocks, values.size());
+  EXPECT_EQ(back.size(), 37U);
+  for (const float v : back) EXPECT_NEAR(v, 1.0f, q4_error_bound(1.0));
+}
+
+TEST(Q4RoundTripTest, ExtremesRepresentable) {
+  // Values exactly at +-amax use codes 15 / 0.
+  std::vector<float> values(32, 0.0f);
+  values[0] = 8.0f;
+  values[1] = -8.0f;
+  const auto blocks = q4_quantize_row(values);
+  const auto back = q4_dequantize_row(blocks, 32);
+  EXPECT_NEAR(back[0], 7.0f, 1e-5);   // +amax clamps to code 15 = 7 * scale
+  EXPECT_NEAR(back[1], -8.0f, 1e-5);  // -amax is exactly code 0
+}
+
+TEST(QuantizedMatrixTest, DequantizeShapeAndError) {
+  util::Rng rng(12);
+  const Tensor dense = Tensor::randn(rng, 8, 48);
+  const auto q = QuantizedMatrix::quantize(dense);
+  EXPECT_EQ(q.rows(), 8U);
+  EXPECT_EQ(q.cols(), 48U);
+  const Tensor back = q.dequantize();
+  EXPECT_EQ(back.rows(), 8U);
+  EXPECT_EQ(back.cols(), 48U);
+  float amax = 0.0f;
+  for (const float v : dense.flat()) amax = std::max(amax, std::abs(v));
+  EXPECT_LT(max_abs_diff(dense.flat(), back.flat()), q4_error_bound(amax));
+}
+
+TEST(QuantizedMatrixTest, StorageMatchesFormula) {
+  util::Rng rng(13);
+  const Tensor dense = Tensor::randn(rng, 4, 64);
+  const auto q = QuantizedMatrix::quantize(dense);
+  EXPECT_EQ(q.storage_bytes(), 4 * q4_storage_bytes(64));
+  // ~6.4x smaller than fp32 at these shapes (5 effective bits).
+  EXPECT_LT(q.storage_bytes() * 6, dense.size() * sizeof(float));
+}
+
+TEST(QuantizedMatrixTest, GemvMatchesDequantizedGemv) {
+  util::Rng rng(14);
+  const Tensor dense = Tensor::randn(rng, 16, 96);
+  const auto q = QuantizedMatrix::quantize(dense);
+  std::vector<float> x(96);
+  for (float& v : x) v = static_cast<float>(rng.gaussian());
+  const auto direct = q.gemv(x);
+  const auto via_dense = gemv(q.dequantize(), x);
+  ASSERT_EQ(direct.size(), via_dense.size());
+  for (std::size_t i = 0; i < direct.size(); ++i)
+    EXPECT_NEAR(direct[i], via_dense[i], 1e-3);
+}
+
+TEST(QuantizedMatrixTest, GemvDimensionMismatchThrows) {
+  util::Rng rng(15);
+  const auto q = QuantizedMatrix::quantize(Tensor::randn(rng, 4, 32));
+  const std::vector<float> x(16, 0.0f);
+  EXPECT_THROW((void)q.gemv(x), std::invalid_argument);
+}
+
+/// Parameterized property: quantization error stays within bound across widths.
+class Q4WidthTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Q4WidthTest, RoundTripBound) {
+  const std::size_t width = GetParam();
+  util::Rng rng(width);
+  std::vector<float> values(width);
+  float amax = 0.0f;
+  for (float& v : values) {
+    v = static_cast<float>(rng.uniform(-3.0, 3.0));
+    amax = std::max(amax, std::abs(v));
+  }
+  const auto back = q4_dequantize_row(q4_quantize_row(values), width);
+  for (std::size_t i = 0; i < width; ++i)
+    EXPECT_LE(std::abs(values[i] - back[i]), q4_error_bound(amax));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, Q4WidthTest,
+                         ::testing::Values(1, 31, 32, 33, 63, 64, 65, 127, 256));
+
+}  // namespace
+}  // namespace hybrimoe::kernels

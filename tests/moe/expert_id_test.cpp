@@ -1,0 +1,50 @@
+#include "moe/expert_id.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+namespace hybrimoe::moe {
+namespace {
+
+TEST(ExpertIdTest, EncodeDecodeRoundTrip) {
+  for (const auto id : {ExpertId{0, 0}, ExpertId{1, 2}, ExpertId{31, 63},
+                        ExpertId{65535, 65535}}) {
+    EXPECT_EQ(ExpertId::decode(id.encode()), id);
+  }
+}
+
+TEST(ExpertIdTest, EncodingIsInjective) {
+  std::unordered_set<std::uint32_t> seen;
+  for (std::uint16_t l = 0; l < 40; ++l)
+    for (std::uint16_t e = 0; e < 70; ++e)
+      EXPECT_TRUE(seen.insert(ExpertId{l, e}.encode()).second);
+}
+
+TEST(ExpertIdTest, OrderingIsLayerMajor) {
+  EXPECT_LT((ExpertId{0, 5}), (ExpertId{1, 0}));
+  EXPECT_LT((ExpertId{1, 0}), (ExpertId{1, 1}));
+  std::vector<ExpertId> ids{{2, 0}, {0, 3}, {1, 1}, {0, 1}};
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids.front(), (ExpertId{0, 1}));
+  EXPECT_EQ(ids.back(), (ExpertId{2, 0}));
+}
+
+TEST(ExpertIdTest, HashUsableInUnorderedContainers) {
+  std::unordered_set<ExpertId> set;
+  set.insert({3, 7});
+  set.insert({3, 7});  // duplicate
+  set.insert({7, 3});
+  EXPECT_EQ(set.size(), 2U);
+  EXPECT_TRUE(set.contains(ExpertId{3, 7}));
+  EXPECT_FALSE(set.contains(ExpertId{3, 8}));
+}
+
+TEST(ExpertIdTest, ToStringFormat) {
+  EXPECT_EQ((ExpertId{4, 12}).to_string(), "L4/E12");
+}
+
+}  // namespace
+}  // namespace hybrimoe::moe

@@ -1,0 +1,98 @@
+#include "moe/gating.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace hybrimoe::moe {
+namespace {
+
+std::vector<float> unit_vector(util::Rng& rng, std::size_t dim) {
+  std::vector<float> h(dim);
+  double sq = 0.0;
+  for (float& v : h) {
+    v = static_cast<float>(rng.gaussian());
+    sq += static_cast<double>(v) * v;
+  }
+  const auto inv = static_cast<float>(1.0 / std::sqrt(sq));
+  for (float& v : h) v *= inv;
+  return h;
+}
+
+TEST(GateSetTest, DeterministicInSeed) {
+  const auto config = ModelConfig::tiny(3, 8, 2);
+  GateSet a(config, 16, 99);
+  GateSet b(config, 16, 99);
+  util::Rng rng(1);
+  const auto h = unit_vector(rng, 16);
+  for (std::size_t l = 0; l < 3; ++l) {
+    const auto la = a.logits(l, h);
+    const auto lb = b.logits(l, h);
+    for (std::size_t e = 0; e < la.size(); ++e) EXPECT_EQ(la[e], lb[e]);
+  }
+}
+
+TEST(GateSetTest, DifferentSeedsDiffer) {
+  const auto config = ModelConfig::tiny(1, 8, 2);
+  GateSet a(config, 16, 1);
+  GateSet b(config, 16, 2);
+  util::Rng rng(2);
+  const auto h = unit_vector(rng, 16);
+  const auto la = a.logits(0, h);
+  const auto lb = b.logits(0, h);
+  bool any_diff = false;
+  for (std::size_t e = 0; e < la.size(); ++e) any_diff |= la[e] != lb[e];
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GateSetTest, LayersAreIndependent) {
+  const auto config = ModelConfig::tiny(2, 8, 2);
+  GateSet gates(config, 16, 5);
+  util::Rng rng(3);
+  const auto h = unit_vector(rng, 16);
+  const auto l0 = gates.logits(0, h);
+  const auto l1 = gates.logits(1, h);
+  bool any_diff = false;
+  for (std::size_t e = 0; e < l0.size(); ++e) any_diff |= l0[e] != l1[e];
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GateSetTest, TemperatureScalesLogits) {
+  const auto config = ModelConfig::tiny(1, 8, 2);
+  GateSet gates(config, 16, 7);
+  util::Rng rng(4);
+  const auto h = unit_vector(rng, 16);
+  const auto base = gates.logits(0, h, 1.0);
+  const auto sharp = gates.logits(0, h, 0.5);
+  for (std::size_t e = 0; e < base.size(); ++e)
+    EXPECT_NEAR(sharp[e], base[e] * 2.0f, 1e-5);
+}
+
+TEST(GateSetTest, LogitsAreOrderOne) {
+  // Unit-norm hidden + unit-variance rows keep logits O(1).
+  const auto config = ModelConfig::tiny(1, 64, 2);
+  GateSet gates(config, 32, 8);
+  util::Rng rng(5);
+  const auto h = unit_vector(rng, 32);
+  const auto logits = gates.logits(0, h);
+  const float amax = *std::max_element(logits.begin(), logits.end());
+  EXPECT_LT(std::abs(amax), 6.0f);
+}
+
+TEST(GateSetTest, RejectsBadInputs) {
+  const auto config = ModelConfig::tiny(2, 8, 2);
+  GateSet gates(config, 16, 9);
+  util::Rng rng(6);
+  const auto h = unit_vector(rng, 16);
+  EXPECT_THROW((void)gates.logits(2, h), std::invalid_argument);  // layer OOR
+  const std::vector<float> short_h(8, 0.0f);
+  EXPECT_THROW((void)gates.logits(0, short_h), std::invalid_argument);
+  EXPECT_THROW((void)gates.logits(0, h, 0.0), std::invalid_argument);
+  EXPECT_THROW(GateSet(config, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hybrimoe::moe

@@ -1,0 +1,112 @@
+#include "moe/model_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hybrimoe::moe {
+namespace {
+
+// Paper Table II, asserted exactly.
+TEST(ModelConfigTest, MixtralMatchesTableII) {
+  const auto c = ModelConfig::mixtral();
+  EXPECT_EQ(c.name, "Mixtral");
+  EXPECT_EQ(c.num_layers, 32U);
+  EXPECT_EQ(c.num_shared_experts, 0U);
+  EXPECT_EQ(c.num_routed_experts, 8U);
+  EXPECT_EQ(c.top_k, 2U);
+  EXPECT_EQ(c.routed.d_model, 4096U);
+  EXPECT_EQ(c.routed.d_ff, 14336U);
+  EXPECT_FALSE(c.shared.valid());
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(ModelConfigTest, Qwen2MatchesTableII) {
+  const auto c = ModelConfig::qwen2();
+  EXPECT_EQ(c.num_layers, 28U);
+  EXPECT_EQ(c.num_shared_experts, 1U);
+  EXPECT_EQ(c.num_routed_experts, 64U);
+  EXPECT_EQ(c.top_k, 8U);
+  EXPECT_EQ(c.routed.d_model, 3584U);
+  EXPECT_EQ(c.routed.d_ff, 18944U);
+  EXPECT_EQ(c.shared.d_model, 3584U);
+  EXPECT_EQ(c.shared.d_ff, 20480U);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(ModelConfigTest, DeepSeekMatchesTableII) {
+  const auto c = ModelConfig::deepseek();
+  EXPECT_EQ(c.num_layers, 26U);
+  EXPECT_EQ(c.num_shared_experts, 2U);
+  EXPECT_EQ(c.num_routed_experts, 64U);
+  EXPECT_EQ(c.top_k, 6U);
+  EXPECT_EQ(c.routed.d_model, 2048U);
+  EXPECT_EQ(c.routed.d_ff, 1408U);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(ModelConfigTest, PaperModelsOrderAndCount) {
+  const auto& models = paper_models();
+  ASSERT_EQ(models.size(), 3U);
+  EXPECT_EQ(models[0].name, "Mixtral");
+  EXPECT_EQ(models[1].name, "Qwen2");
+  EXPECT_EQ(models[2].name, "DeepSeek");
+}
+
+TEST(ExpertShapeTest, ParamAndByteMath) {
+  const ExpertShape s{2048, 1408};
+  EXPECT_EQ(s.params(), 3U * 2048U * 1408U);
+  // 4.25 effective bits.
+  EXPECT_EQ(s.bytes(4.25), static_cast<std::size_t>(s.params() * 4.25 / 8.0));
+  EXPECT_DOUBLE_EQ(s.flops(1), 2.0 * static_cast<double>(s.params()));
+  EXPECT_DOUBLE_EQ(s.flops(10), 10.0 * s.flops(1));
+}
+
+TEST(ModelConfigTest, DerivedQuantities) {
+  const auto c = ModelConfig::deepseek();
+  EXPECT_EQ(c.total_routed_experts(), 26U * 64U);
+  EXPECT_EQ(c.routed_expert_bytes(), c.routed.bytes(c.bits_per_weight));
+  EXPECT_EQ(c.shared_expert_bytes(), c.shared.bytes(c.bits_per_weight));
+  EXPECT_GT(c.attention_flops_per_token(), 0.0);
+  EXPECT_GT(c.attention_bytes(), 0U);
+  // Mixtral has no shared experts -> zero bytes.
+  EXPECT_EQ(ModelConfig::mixtral().shared_expert_bytes(), 0U);
+}
+
+TEST(ModelConfigTest, ExpertSizesOrderAcrossModels) {
+  // DeepSeek experts are tiny; Mixtral and Qwen2 experts are ~20x larger —
+  // the property that flips the decode scheduling regime.
+  const auto mixtral = ModelConfig::mixtral().routed_expert_bytes();
+  const auto qwen2 = ModelConfig::qwen2().routed_expert_bytes();
+  const auto deepseek = ModelConfig::deepseek().routed_expert_bytes();
+  EXPECT_GT(mixtral, 10 * deepseek);
+  EXPECT_GT(qwen2, 10 * deepseek);
+}
+
+TEST(ModelConfigTest, ValidateRejectsBadConfigs) {
+  auto c = ModelConfig::deepseek();
+  c.top_k = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = ModelConfig::deepseek();
+  c.top_k = c.num_routed_experts + 1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = ModelConfig::deepseek();
+  c.num_layers = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = ModelConfig::deepseek();
+  c.routed = {};
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = ModelConfig::deepseek();
+  c.shared = {};  // but num_shared_experts == 2
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = ModelConfig::deepseek();
+  c.bits_per_weight = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ModelConfigTest, TinyIsValidAndSmall) {
+  const auto c = ModelConfig::tiny();
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_LT(c.routed.params(), 10000U);
+}
+
+}  // namespace
+}  // namespace hybrimoe::moe

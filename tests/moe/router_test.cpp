@@ -1,0 +1,122 @@
+#include "moe/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace hybrimoe::moe {
+namespace {
+
+TEST(RouterTest, ConstructorValidates) {
+  EXPECT_THROW(Router(0, 1), std::invalid_argument);
+  EXPECT_THROW(Router(4, 0), std::invalid_argument);
+  EXPECT_THROW(Router(4, 5), std::invalid_argument);
+  EXPECT_NO_THROW(Router(4, 4));
+}
+
+TEST(RouterTest, RouteTokenPicksTopK) {
+  Router router(4, 2);
+  const std::vector<float> logits{0.1f, 2.0f, -1.0f, 1.5f};
+  const auto r = router.route_token(logits);
+  ASSERT_EQ(r.experts.size(), 2U);
+  EXPECT_EQ(r.experts[0], 1U);
+  EXPECT_EQ(r.experts[1], 3U);
+  EXPECT_NEAR(r.weights[0] + r.weights[1], 1.0, 1e-6);
+  EXPECT_GT(r.weights[0], r.weights[1]);
+}
+
+TEST(RouterTest, FullScoresAreSoftmax) {
+  Router router(3, 1);
+  const std::vector<float> logits{0.0f, 0.0f, 0.0f};
+  const auto s = router.full_scores(logits);
+  for (const float v : s) EXPECT_NEAR(v, 1.0f / 3.0f, 1e-6);
+}
+
+TEST(RouterTest, BatchLoadsSumToTokensTimesK) {
+  util::Rng rng(31);
+  constexpr std::size_t kExperts = 16;
+  constexpr std::size_t kTopK = 3;
+  constexpr std::size_t kTokens = 40;
+  Router router(kExperts, kTopK);
+  std::vector<float> logits(kTokens * kExperts);
+  for (float& v : logits) v = static_cast<float>(rng.gaussian());
+  const auto routing = router.route_batch(logits, kTokens);
+  EXPECT_EQ(routing.total_tokens, kTokens);
+  const auto total =
+      std::accumulate(routing.loads.begin(), routing.loads.end(), 0U);
+  EXPECT_EQ(total, kTokens * kTopK);
+}
+
+TEST(RouterTest, BatchScoresAreMeanSoftmax) {
+  Router router(2, 1);
+  // Token A: strongly expert 0; token B: strongly expert 1 (symmetric).
+  const std::vector<float> logits{5.0f, -5.0f, -5.0f, 5.0f};
+  const auto routing = router.route_batch(logits, 2);
+  EXPECT_NEAR(routing.scores[0], 0.5f, 1e-4);
+  EXPECT_NEAR(routing.scores[1], 0.5f, 1e-4);
+  EXPECT_EQ(routing.loads[0], 1U);
+  EXPECT_EQ(routing.loads[1], 1U);
+}
+
+TEST(RouterTest, ActivatedListsNonZeroLoads) {
+  LayerRouting r;
+  r.loads = {0, 3, 0, 1};
+  EXPECT_EQ(r.activated(), (std::vector<std::uint32_t>{1, 3}));
+  EXPECT_EQ(r.activated_count(), 2U);
+}
+
+TEST(RouterTest, SizeMismatchThrows) {
+  Router router(4, 2);
+  const std::vector<float> short_logits{1.0f, 2.0f};
+  EXPECT_THROW((void)router.route_token(short_logits), std::invalid_argument);
+  EXPECT_THROW((void)router.route_batch(short_logits, 1), std::invalid_argument);
+  EXPECT_THROW((void)router.route_batch(short_logits, 0), std::invalid_argument);
+}
+
+/// Property sweep over (experts, k): every token contributes exactly k load
+/// units; activated count per token == k; scores sum to ~1.
+class RouterParamTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(RouterParamTest, Invariants) {
+  const auto [experts, k] = GetParam();
+  util::Rng rng(experts * 100 + k);
+  Router router(experts, k);
+  std::vector<float> logits(experts);
+  for (float& v : logits) v = static_cast<float>(rng.gaussian());
+
+  const auto token = router.route_token(logits);
+  EXPECT_EQ(token.experts.size(), k);
+  double wsum = 0.0;
+  for (const float w : token.weights) {
+    EXPECT_GT(w, 0.0f);
+    wsum += w;
+  }
+  EXPECT_NEAR(wsum, 1.0, 1e-5);
+
+  const auto scores = router.full_scores(logits);
+  EXPECT_NEAR(std::accumulate(scores.begin(), scores.end(), 0.0), 1.0, 1e-5);
+
+  // The selected experts hold the k highest scores.
+  for (const auto e : token.experts) {
+    for (std::size_t other = 0; other < experts; ++other) {
+      if (std::find(token.experts.begin(), token.experts.end(), other) ==
+          token.experts.end()) {
+        EXPECT_GE(scores[e], scores[other]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RouterParamTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{8, 2},   // Mixtral
+                      std::pair<std::size_t, std::size_t>{64, 8},  // Qwen2
+                      std::pair<std::size_t, std::size_t>{64, 6},  // DeepSeek
+                      std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{5, 5}));
+
+}  // namespace
+}  // namespace hybrimoe::moe

@@ -1,0 +1,148 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hybrimoe::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats s;
+  for (const double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 6.2);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+  EXPECT_DOUBLE_EQ(s.total(), 31.0);
+  // Sample variance computed by hand: sum((x-6.2)^2)/4.
+  double sq = 0.0;
+  for (const double x : xs) sq += (x - 6.2) * (x - 6.2);
+  EXPECT_NEAR(s.variance(), sq / 4.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(sq / 4.0), 1e-12);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptyIsNoOp) {
+  RunningStats a;
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1U);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1U);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(PercentileTest, KnownValues) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+}
+
+TEST(PercentileTest, UnsortedInput) {
+  const std::vector<double> xs{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 5.0);
+}
+
+TEST(PercentileTest, SingleElement) {
+  const std::vector<double> xs{42.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 73.0), 42.0);
+}
+
+TEST(PercentileTest, RejectsBadInput) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)percentile(empty, 50.0), std::invalid_argument);
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)percentile(xs, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile(xs, 101.0), std::invalid_argument);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_EQ(mean({}), 0.0);
+  const std::vector<double> xs{2.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+}
+
+TEST(GeometricMeanTest, KnownValue) {
+  const std::vector<double> xs{1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geometric_mean(xs), 2.0);
+}
+
+TEST(GeometricMeanTest, RejectsNonPositive) {
+  const std::vector<double> xs{1.0, 0.0};
+  EXPECT_THROW((void)geometric_mean(xs), std::invalid_argument);
+}
+
+TEST(GiniTest, UniformIsZero) {
+  const std::vector<double> xs(10, 3.0);
+  EXPECT_NEAR(gini(xs), 0.0, 1e-12);
+}
+
+TEST(GiniTest, FullyConcentratedApproachesOne) {
+  std::vector<double> xs(100, 0.0);
+  xs[0] = 1.0;
+  EXPECT_GT(gini(xs), 0.95);
+}
+
+TEST(GiniTest, MoreSkewMeansHigherGini) {
+  const std::vector<double> mild{4.0, 3.0, 2.0, 1.0};
+  const std::vector<double> steep{10.0, 1.0, 1.0, 1.0};
+  EXPECT_LT(gini(mild), gini(steep));
+}
+
+TEST(ConcentrationCdfTest, MonotoneAndEndsAtOne) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 1.0};
+  const auto cdf = concentration_cdf(xs);
+  ASSERT_EQ(cdf.size(), xs.size());
+  for (std::size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+  EXPECT_NEAR(cdf.back(), 1.0, 1e-12);
+  EXPECT_NEAR(cdf.front(), 0.5, 1e-12);  // 5 of 10 total
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectAntiCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, DegenerateSeriesIsZero) {
+  const std::vector<double> xs{1.0, 1.0, 1.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+}
+
+}  // namespace
+}  // namespace hybrimoe::util

@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hybrimoe::util {
+namespace {
+
+TEST(TextTableTest, RendersHeadersAndRows) {
+  TextTable t("demo");
+  t.set_headers({"name", "value"});
+  t.begin_row().add_cell("alpha").add_cell(1.5, 1);
+  t.begin_row().add_cell("beta").add_cell(std::size_t{7});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("7"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2U);
+}
+
+TEST(TextTableTest, AddCellBeforeRowThrows) {
+  TextTable t;
+  EXPECT_THROW(t.add_cell("x"), std::invalid_argument);
+}
+
+TEST(TextTableTest, ColumnsAlign) {
+  TextTable t;
+  t.set_headers({"a", "b"});
+  t.begin_row().add_cell("long-cell-content").add_cell("x");
+  const std::string out = t.to_string();
+  // Every rendered line between rules should have the same width.
+  std::size_t expected = 0;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const auto end = out.find('\n', start);
+    const std::string line = out.substr(start, end - start);
+    if (!line.empty() && (line.front() == '|' || line.front() == '+')) {
+      if (expected == 0) expected = line.size();
+      EXPECT_EQ(line.size(), expected) << line;
+    }
+    start = end == std::string::npos ? out.size() : end + 1;
+  }
+}
+
+TEST(TextTableTest, CsvEscapesSpecials) {
+  TextTable t;
+  t.set_headers({"x"});
+  t.begin_row().add_cell("a,b");
+  t.begin_row().add_cell("say \"hi\"");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(FormatTest, Doubles) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(FormatTest, SecondsUnits) {
+  EXPECT_EQ(format_seconds(2.5), "2.500 s");
+  EXPECT_EQ(format_seconds(0.0025), "2.500 ms");
+  EXPECT_EQ(format_seconds(2.5e-6), "2.50 us");
+  EXPECT_EQ(format_seconds(2.5e-9), "2.5 ns");
+}
+
+TEST(FormatTest, Speedup) { EXPECT_EQ(format_speedup(1.333), "1.33x"); }
+
+}  // namespace
+}  // namespace hybrimoe::util

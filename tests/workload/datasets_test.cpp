@@ -1,0 +1,72 @@
+#include "workload/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace hybrimoe::workload {
+namespace {
+
+TEST(DatasetsTest, Names) {
+  EXPECT_STREQ(to_string(Dataset::MtBench), "MT-Bench");
+  EXPECT_STREQ(to_string(Dataset::VicunaBench), "Vicuna-Bench");
+  EXPECT_STREQ(to_string(Dataset::ChatGptPrompts), "ChatGPT-Prompts");
+  EXPECT_EQ(kAllDatasets.size(), 3U);
+}
+
+TEST(DatasetsTest, PaperPrefillBuckets) {
+  ASSERT_EQ(kPaperPrefillLengths.size(), 4U);
+  EXPECT_EQ(kPaperPrefillLengths[0], 32U);
+  EXPECT_EQ(kPaperPrefillLengths[3], 1024U);
+}
+
+TEST(DatasetsTest, SampledLengthsWithinDatasetBounds) {
+  util::Rng rng(21);
+  for (const auto dataset : kAllDatasets) {
+    for (int i = 0; i < 2000; ++i) {
+      const auto len = sample_prompt_length(dataset, rng);
+      EXPECT_GE(len, 12U);
+      EXPECT_LE(len, 2048U);
+    }
+  }
+}
+
+TEST(DatasetsTest, MedianOrderingAcrossDatasets) {
+  // Vicuna questions are shortest, ChatGPT persona prompts longest.
+  util::Rng rng(22);
+  auto median_of = [&](Dataset d) {
+    std::vector<double> lens;
+    for (int i = 0; i < 4000; ++i)
+      lens.push_back(static_cast<double>(sample_prompt_length(d, rng)));
+    return util::percentile(lens, 50.0);
+  };
+  const double vicuna = median_of(Dataset::VicunaBench);
+  const double mtbench = median_of(Dataset::MtBench);
+  const double chatgpt = median_of(Dataset::ChatGptPrompts);
+  EXPECT_LT(vicuna, mtbench);
+  EXPECT_LT(mtbench, chatgpt);
+}
+
+TEST(DatasetsTest, BucketedLengthsNearBucket) {
+  util::Rng rng(23);
+  for (const auto dataset : kAllDatasets) {
+    for (const std::size_t bucket : kPaperPrefillLengths) {
+      for (int i = 0; i < 200; ++i) {
+        const auto len = sample_bucketed_length(dataset, bucket, rng);
+        EXPECT_GE(len, static_cast<std::size_t>(static_cast<double>(bucket) * 0.85));
+        EXPECT_LE(len, static_cast<std::size_t>(static_cast<double>(bucket) * 1.15));
+      }
+    }
+  }
+}
+
+TEST(DatasetsTest, BucketedRejectsTinyBucket) {
+  util::Rng rng(24);
+  EXPECT_THROW((void)sample_bucketed_length(Dataset::MtBench, 4, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hybrimoe::workload

@@ -1,0 +1,220 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/stats.hpp"
+
+namespace hybrimoe::workload {
+namespace {
+
+TraceGenParams test_params(std::uint64_t seed = 7) {
+  TraceGenParams p;
+  p.seed = seed;
+  return p;
+}
+
+TEST(TraceGenParamsTest, Validation) {
+  TraceGenParams p;
+  p.d_latent = 2;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.token_rho = 1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.gate_temperature = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(TraceGeneratorTest, DeterministicForSeed) {
+  const auto model = moe::ModelConfig::tiny(4, 16, 3);
+  TraceGenerator a(model, test_params());
+  TraceGenerator b(model, test_params());
+  const auto ta = a.generate_decode(5);
+  const auto tb = b.generate_decode(5);
+  ASSERT_EQ(ta.num_steps(), tb.num_steps());
+  for (std::size_t s = 0; s < ta.num_steps(); ++s)
+    for (std::size_t l = 0; l < model.num_layers; ++l)
+      EXPECT_EQ(ta.steps[s].layers[l].loads, tb.steps[s].layers[l].loads);
+}
+
+TEST(TraceGeneratorTest, GateSeedSeparatesModelFromTokens) {
+  const auto model = moe::ModelConfig::tiny(2, 16, 3);
+  auto p1 = test_params(1);
+  auto p2 = test_params(2);
+  p2.gate_seed = p1.effective_gate_seed();  // same model, different tokens
+  TraceGenerator g1(model, p1);
+  TraceGenerator g2(model, p2);
+  const auto t1 = g1.generate_decode(8);
+  const auto t2 = g2.generate_decode(8);
+  // Different token streams...
+  bool differs = false;
+  for (std::size_t s = 0; s < 8 && !differs; ++s)
+    differs = t1.steps[s].layers[0].loads != t2.steps[s].layers[0].loads;
+  EXPECT_TRUE(differs);
+  // ...but statistically similar per-expert frequencies (same gates+biases).
+  const auto f1 = activation_frequencies(g1.generate_decode(256), model);
+  const auto f2 = activation_frequencies(g2.generate_decode(256), model);
+  std::vector<double> flat1;
+  std::vector<double> flat2;
+  for (std::size_t l = 0; l < f1.size(); ++l) {
+    flat1.insert(flat1.end(), f1[l].begin(), f1[l].end());
+    flat2.insert(flat2.end(), f2[l].begin(), f2[l].end());
+  }
+  EXPECT_GT(util::pearson(flat1, flat2), 0.5);
+}
+
+TEST(TraceGeneratorTest, DecodeStepStructure) {
+  const auto model = moe::ModelConfig::tiny(3, 16, 4);
+  TraceGenerator gen(model, test_params());
+  const auto trace = gen.generate_decode(6);
+  ASSERT_EQ(trace.num_steps(), 6U);
+  for (const auto& step : trace.steps) {
+    EXPECT_EQ(step.tokens, 1U);
+    ASSERT_EQ(step.num_layers(), model.num_layers);
+    for (const auto& layer : step.layers) {
+      // Each decode token activates exactly top_k experts.
+      const auto total = std::accumulate(layer.loads.begin(), layer.loads.end(), 0U);
+      EXPECT_EQ(total, model.top_k);
+      EXPECT_EQ(layer.activated_count(), model.top_k);
+      // Scores are a softmax: sum to 1.
+      const double ssum =
+          std::accumulate(layer.scores.begin(), layer.scores.end(), 0.0);
+      EXPECT_NEAR(ssum, 1.0, 1e-4);
+    }
+  }
+}
+
+TEST(TraceGeneratorTest, PrefillLoadsSumToTokensTimesK) {
+  const auto model = moe::ModelConfig::tiny(3, 16, 4);
+  TraceGenerator gen(model, test_params());
+  const auto trace = gen.generate_prefill(37);
+  EXPECT_EQ(trace.prompt_tokens, 37U);
+  for (const auto& layer : trace.forward.layers) {
+    const auto total = std::accumulate(layer.loads.begin(), layer.loads.end(), 0U);
+    EXPECT_EQ(total, 37U * model.top_k);
+  }
+}
+
+TEST(TraceGeneratorTest, PredictionsPresentWithinLookahead) {
+  const auto model = moe::ModelConfig::tiny(6, 16, 3);
+  auto params = test_params();
+  params.lookahead = 3;
+  TraceGenerator gen(model, params);
+  const auto trace = gen.generate_decode(1);
+  const auto& fwd = trace.steps[0];
+  EXPECT_NE(fwd.prediction(0, 1), nullptr);
+  EXPECT_NE(fwd.prediction(0, 3), nullptr);
+  EXPECT_EQ(fwd.prediction(0, 4), nullptr);   // beyond lookahead
+  EXPECT_EQ(fwd.prediction(3, 3), nullptr);   // not ahead
+  EXPECT_EQ(fwd.prediction(5, 6), nullptr);   // beyond last layer
+  EXPECT_NE(fwd.prediction(4, 5), nullptr);   // trimmed but valid
+}
+
+TEST(TraceGeneratorTest, PredictionsApproximateActualRouting) {
+  // Gate-reuse predictions (Fig. 6) must be informative: the predicted
+  // activated set overlaps the actual one far above chance, and accuracy
+  // decays with lookahead depth.
+  const auto model = moe::ModelConfig::deepseek();
+  TraceGenerator gen(model, test_params(11));
+  const auto trace = gen.generate_decode(24);
+
+  auto overlap_at_depth = [&](std::size_t depth) {
+    double overlap = 0.0;
+    double count = 0.0;
+    for (const auto& step : trace.steps) {
+      for (std::size_t l = 0; l + depth < model.num_layers; ++l) {
+        const auto* pred = step.prediction(l, l + depth);
+        if (pred == nullptr) continue;
+        const auto& actual = step.layers[l + depth];
+        for (std::size_t e = 0; e < actual.loads.size(); ++e)
+          if (pred->loads[e] > 0 && actual.loads[e] > 0) overlap += 1.0;
+        count += static_cast<double>(model.top_k);
+      }
+    }
+    return overlap / count;
+  };
+  const double depth1 = overlap_at_depth(1);
+  const double depth3 = overlap_at_depth(3);
+  const double chance = static_cast<double>(model.top_k) /
+                        static_cast<double>(model.num_routed_experts);
+  EXPECT_GT(depth1, 5.0 * chance);
+  EXPECT_GT(depth3, 3.0 * chance);
+  EXPECT_GE(depth1, depth3 - 0.02);  // accuracy decays (or ties) with depth
+}
+
+TEST(TraceGeneratorTest, TemporalReuseMonotoneInScoreRank) {
+  // Fig. 3(b): the higher an expert's score now, the likelier its
+  // activation next step. Compare top-quartile vs bottom-quartile ranks.
+  const auto model = moe::ModelConfig::deepseek();
+  TraceGenerator gen(model, test_params(12));
+  const auto trace = gen.generate_decode(64);
+  double top_reuse = 0.0;
+  double bottom_reuse = 0.0;
+  double n = 0.0;
+  for (std::size_t s = 0; s + 1 < trace.num_steps(); ++s) {
+    for (std::size_t l = 0; l < model.num_layers; ++l) {
+      const auto& now = trace.steps[s].layers[l];
+      const auto& next = trace.steps[s + 1].layers[l];
+      std::vector<std::uint32_t> order(model.num_routed_experts);
+      std::iota(order.begin(), order.end(), 0U);
+      std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+        return now.scores[a] > now.scores[b];
+      });
+      const std::size_t quarter = order.size() / 4;
+      for (std::size_t r = 0; r < quarter; ++r) {
+        top_reuse += next.loads[order[r]] > 0 ? 1.0 : 0.0;
+        bottom_reuse += next.loads[order[order.size() - 1 - r]] > 0 ? 1.0 : 0.0;
+        n += 1.0;
+      }
+    }
+  }
+  EXPECT_GT(top_reuse / n, 1.5 * (bottom_reuse / n));
+}
+
+TEST(TraceGeneratorTest, PrefillLoadsAreUneven) {
+  // Fig. 3(c): prefill expert workloads are heavily unbalanced.
+  const auto model = moe::ModelConfig::deepseek();
+  TraceGenerator gen(model, test_params(13));
+  const auto trace = gen.generate_prefill(128);
+  const auto& mid = trace.forward.layers[model.num_layers / 2];
+  std::vector<double> loads(mid.loads.begin(), mid.loads.end());
+  const double max_load = *std::max_element(loads.begin(), loads.end());
+  EXPECT_GT(max_load, 2.5 * util::mean(loads));
+}
+
+TEST(TraceGeneratorTest, ResetRestartsTokenProcessKeepsGates) {
+  const auto model = moe::ModelConfig::tiny(2, 16, 3);
+  TraceGenerator gen(model, test_params(14));
+  const auto first = gen.generate_decode(4);
+  gen.reset(14);
+  const auto second = gen.generate_decode(4);
+  for (std::size_t s = 0; s < 4; ++s)
+    EXPECT_EQ(first.steps[s].layers[0].loads, second.steps[s].layers[0].loads);
+}
+
+TEST(TraceGeneratorTest, ActivationFrequenciesShape) {
+  const auto model = moe::ModelConfig::tiny(3, 8, 2);
+  TraceGenerator gen(model, test_params(15));
+  const auto trace = gen.generate_decode(32);
+  const auto freq = activation_frequencies(trace, model);
+  ASSERT_EQ(freq.size(), model.num_layers);
+  for (const auto& layer : freq) {
+    ASSERT_EQ(layer.size(), model.num_routed_experts);
+    const double total = std::accumulate(layer.begin(), layer.end(), 0.0);
+    EXPECT_DOUBLE_EQ(total, 32.0 * model.top_k);  // single-token steps
+  }
+}
+
+TEST(TraceGeneratorTest, RejectsEmptyRequests) {
+  const auto model = moe::ModelConfig::tiny();
+  TraceGenerator gen(model, test_params());
+  EXPECT_THROW((void)gen.generate_decode(0), std::invalid_argument);
+  EXPECT_THROW((void)gen.generate_prefill(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hybrimoe::workload

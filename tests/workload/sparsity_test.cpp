@@ -1,0 +1,68 @@
+#include "workload/sparsity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/stats.hpp"
+#include "workload/generator.hpp"
+
+namespace hybrimoe::workload {
+namespace {
+
+TEST(ZipfTest, NormalisedAndDecreasing) {
+  const auto freq = zipf_frequencies(100);
+  EXPECT_NEAR(std::accumulate(freq.begin(), freq.end(), 0.0), 1.0, 1e-9);
+  for (std::size_t i = 1; i < freq.size(); ++i) EXPECT_LE(freq[i], freq[i - 1]);
+}
+
+TEST(ZipfTest, SteeperExponentMoreConcentrated) {
+  const auto mild = zipf_frequencies(1000, 0.8);
+  const auto steep = zipf_frequencies(1000, 1.6);
+  EXPECT_LT(top_share(mild, 0.1), top_share(steep, 0.1));
+}
+
+TEST(ZipfTest, HotNeuronShapeMatchesPowerInferPremise) {
+  // The paper's Fig. 3(a): a small fraction of neurons dominates dense-model
+  // activations. With default parameters, the top 10% should hold >50%.
+  const auto freq = zipf_frequencies(4096);
+  EXPECT_GT(top_share(freq, 0.10), 0.5);
+  EXPECT_GT(top_share(freq, 0.20), 0.6);
+}
+
+TEST(ZipfTest, InputValidation) {
+  EXPECT_THROW((void)zipf_frequencies(0), std::invalid_argument);
+  EXPECT_THROW((void)zipf_frequencies(10, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)zipf_frequencies(10, 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(TopShareTest, Basics) {
+  const std::vector<double> freq{0.5, 0.3, 0.2};
+  EXPECT_NEAR(top_share(freq, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(top_share(freq, 0.0), 0.0, 1e-12);
+  // Top 1 of 3 items (33%) holds 0.5 of the mass.
+  EXPECT_NEAR(top_share(freq, 0.34), 0.5, 1e-12);
+  EXPECT_THROW((void)top_share(freq, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)top_share({}, 0.5), std::invalid_argument);
+}
+
+TEST(SparsityContrastTest, ExpertActivationsFlatterThanNeurons) {
+  // The central claim of Fig. 3(a): MoE expert activation frequencies are
+  // far less concentrated than neuron-level sparsity.
+  const auto neurons = zipf_frequencies(4096);
+
+  const auto model = moe::ModelConfig::deepseek();
+  TraceGenParams params;
+  params.seed = 31;
+  TraceGenerator gen(model, params);
+  const auto freq = activation_frequencies(gen.generate_decode(128), model);
+  std::vector<double> experts;
+  for (const auto& layer : freq)
+    experts.insert(experts.end(), layer.begin(), layer.end());
+
+  EXPECT_GT(util::gini(neurons), 2.0 * util::gini(experts));
+  EXPECT_GT(top_share(neurons, 0.2), top_share(experts, 0.2) + 0.2);
+}
+
+}  // namespace
+}  // namespace hybrimoe::workload
