@@ -1,72 +1,69 @@
 /// \file batch_serving.cpp
-/// Extension beyond the paper's single-stream decode: continuous-batching
-/// serving, where several sessions decode one token per step. Larger batches
-/// raise per-expert loads (toward the prefill regime), which shifts the
-/// hybrid scheduler's decisions from "CPU computes misses" toward "stream
-/// misses to the GPU" automatically — no configuration change needed.
+/// Extension beyond the paper's single-stream decode: request-level serving
+/// with continuous batching. A Poisson stream of mixed-size requests flows
+/// through the admission queue; each step composes at most one prefill chunk
+/// plus every active decode, so rising load raises per-expert loads (toward
+/// the prefill regime) and shifts the hybrid scheduler from "CPU computes
+/// misses" toward "stream misses to the GPU" automatically.
+///
+/// The warmup statistics, engines and per-request traces all come from one
+/// ExperimentHarness, so both frameworks serve byte-identical traffic.
 
 #include <iostream>
 
-#include "core/warmup.hpp"
-#include "runtime/frameworks.hpp"
+#include "runtime/session.hpp"
 #include "util/table.hpp"
-#include "workload/generator.hpp"
 
 int main() {
   using namespace hybrimoe;
 
-  const auto model = moe::ModelConfig::deepseek();
-  const hw::CostModel costs(hw::MachineProfile::a6000_xeon10(), model);
-  constexpr double kCacheRatio = 0.25;
-  constexpr std::size_t kSteps = 24;
+  runtime::ExperimentSpec spec;
+  spec.model = moe::ModelConfig::deepseek();
+  spec.cache_ratio = 0.25;
+  spec.trace.seed = 4242;
+  runtime::ExperimentHarness harness(spec);
 
-  std::cout << "Batched decode serving: " << model.name << " @ "
-            << kCacheRatio * 100 << "% cache, " << kSteps << " steps\n\n";
+  workload::RequestStreamParams stream;
+  stream.num_requests = 12;
+  stream.prompt_tokens_min = 16;
+  stream.prompt_tokens_max = 48;
+  stream.decode_tokens_min = 6;
+  stream.decode_tokens_max = 12;
+  stream.seed = 4242;
 
-  workload::TraceGenParams params;
-  params.seed = 4242;
-  workload::TraceGenerator generator(model, params);
-  // Warmup frequencies from a single-stream trace.
-  workload::TraceGenParams wparams = params;
-  wparams.gate_seed = params.effective_gate_seed();
-  wparams.seed = params.seed ^ 0xABCDEF;
-  workload::TraceGenerator warmup_gen(model, wparams);
-  const auto warmup_freq =
-      workload::activation_frequencies(warmup_gen.generate_decode(32), model);
+  std::cout << "Continuous-batching serving: " << spec.model.name << " @ "
+            << spec.cache_ratio * 100 << "% cache, " << stream.num_requests
+            << " Poisson requests per rate\n\n";
 
-  util::TextTable table("per-token decode latency by batch size");
-  table.set_headers({"batch", "KTransformers TBT/token", "HybriMoE TBT/token",
-                     "speedup", "HybriMoE transfers/step"});
+  util::TextTable table("serving latency by arrival rate (KTransformers vs HybriMoE)");
+  table.set_headers({"req/s", "KT p95 TBT", "HM p95 TBT", "TBT speedup",
+                     "HM p95 TTFT", "HM tok/s", "HM transfers/step"});
 
-  for (const std::size_t batch : {1UL, 2UL, 4UL, 8UL, 16UL}) {
-    generator.reset(params.seed + batch);
-    const auto trace = generator.generate_decode_batch(kSteps, batch);
+  for (const double rate : {0.25, 0.5, 1.0, 2.0}) {
+    stream.arrival_rate = rate;
+    const auto specs = workload::generate_request_stream(stream);
+    // Traces are framework-independent: materialise once, serve copies.
+    const auto requests = harness.materialize(specs);
 
-    runtime::EngineBuildInfo info;
-    info.cache_ratio = kCacheRatio;
-    info.warmup_frequencies = warmup_freq;
+    const auto kt = harness.serve(runtime::Framework::KTransformers, requests);
+    const auto hm = harness.serve(runtime::Framework::HybriMoE, requests);
 
-    auto ktrans = runtime::make_engine(runtime::Framework::KTransformers, costs, info);
-    auto hybrimoe = runtime::make_engine(runtime::Framework::HybriMoE, costs, info);
-    const auto mk = ktrans->run_decode(trace);
-    const auto mh = hybrimoe->run_decode(trace);
-
-    // Per generated token: batch tokens per step.
-    const auto tokens = static_cast<double>(kSteps * batch);
-    const double kt = mk.total_latency / tokens;
-    const double hm = mh.total_latency / tokens;
+    const double kt_tbt = kt.tbt_tails().p95;
+    const double hm_tbt = hm.tbt_tails().p95;
+    const auto steps = static_cast<double>(hm.steps.per_forward.size());
     table.begin_row()
-        .add_cell(std::to_string(batch))
-        .add_cell(util::format_seconds(kt))
-        .add_cell(util::format_seconds(hm))
-        .add_cell(util::format_speedup(kt / hm))
-        .add_cell(util::format_double(
-            static_cast<double>(mh.transfers) / static_cast<double>(kSteps), 1));
+        .add_cell(util::format_double(rate, 2))
+        .add_cell(util::format_seconds(kt_tbt))
+        .add_cell(util::format_seconds(hm_tbt))
+        .add_cell(util::format_speedup(kt_tbt / hm_tbt))
+        .add_cell(util::format_seconds(hm.ttft_tails().p95))
+        .add_cell(util::format_double(hm.throughput(), 1))
+        .add_cell(util::format_double(static_cast<double>(hm.steps.transfers) / steps, 1));
   }
   table.print(std::cout);
 
-  std::cout << "\nAs the batch grows, per-expert loads rise and HybriMoE starts\n"
-               "streaming heavy misses to the GPU (transfers/step climbs) —\n"
-               "the same machinery that wins the prefill stage.\n";
+  std::cout << "\nAs the arrival rate grows, batches deepen: per-expert loads rise\n"
+               "and HybriMoE starts streaming heavy misses to the GPU\n"
+               "(transfers/step climbs) — the same machinery that wins prefill.\n";
   return 0;
 }

@@ -24,8 +24,8 @@ void OffloadEngine::seed_cache(std::span<const moe::ExpertId> experts, bool pinn
   }
 }
 
-double OffloadEngine::run_forward(const workload::ForwardTrace& forward,
-                                  sched::Stage stage, StageMetrics& metrics) {
+double OffloadEngine::run_step(const workload::ForwardTrace& forward,
+                               sched::Stage stage, StageMetrics& metrics) {
   const auto& model = costs_.model();
   HYBRIMOE_REQUIRE(forward.num_layers() == model.num_layers,
                    "trace layer count does not match the model");
@@ -165,10 +165,10 @@ StageMetrics OffloadEngine::run_prefill(const workload::PrefillTrace& trace) {
   metrics.stage = sched::Stage::Prefill;
   metrics.tokens = trace.prompt_tokens;
   components_.cache->reset_stats();
-  const double latency = run_forward(trace.forward, sched::Stage::Prefill, metrics);
+  const double latency = run_step(trace.forward, sched::Stage::Prefill, metrics);
   metrics.per_forward.push_back(latency);
   metrics.total_latency = latency;
-  // run_forward accumulated transient-buffer hits into metrics.cache.hits;
+  // run_step accumulated transient-buffer hits into metrics.cache.hits;
   // merge them with the cache's own counters.
   cache::CacheStats stats = components_.cache->stats();
   stats.hits += metrics.cache.hits;
@@ -183,7 +183,7 @@ StageMetrics OffloadEngine::run_decode(const workload::DecodeTrace& trace) {
   metrics.tokens = trace.num_steps();
   components_.cache->reset_stats();
   for (const auto& step : trace.steps) {
-    const double latency = run_forward(step, sched::Stage::Decode, metrics);
+    const double latency = run_step(step, sched::Stage::Decode, metrics);
     metrics.per_forward.push_back(latency);
     metrics.total_latency += latency;
   }

@@ -65,11 +65,16 @@ class OffloadEngine {
   /// Run a decode phase; returns per-token latencies and TBT.
   [[nodiscard]] StageMetrics run_decode(const workload::DecodeTrace& trace);
 
- private:
-  /// Process one forward pass; returns its latency and accumulates metrics.
-  double run_forward(const workload::ForwardTrace& forward, sched::Stage stage,
-                     StageMetrics& metrics);
+  /// Step-level entry point: process one forward pass — a prefill chunk, a
+  /// decode step, or a continuous-batching composition of several requests
+  /// (workload::merge_forward_traces) — under the given stage's scheduling
+  /// semantics, accumulating engine counters into `metrics` (the caller owns
+  /// per_forward/total_latency/cache bookkeeping). Returns the pass latency.
+  /// run_prefill/run_decode and the ServeEngine are thin loops over this.
+  double run_step(const workload::ForwardTrace& forward, sched::Stage stage,
+                  StageMetrics& metrics);
 
+ private:
   EngineComponents components_;
   const hw::CostModel& costs_;
 };

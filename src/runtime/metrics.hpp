@@ -3,6 +3,9 @@
 /// \file metrics.hpp
 /// Per-stage measurements: TTFT for prefill, TBT for decode (§VI-A.4), plus
 /// the resource-utilisation and cache statistics the analysis sections use.
+/// Request-level serving measurements (per-request TTFT/TBT/E2E, tails,
+/// throughput/goodput) live in serve_metrics.hpp; a ServeMetrics embeds one
+/// StageMetrics as its aggregate step counters.
 
 #include <cstddef>
 #include <vector>

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file request.hpp
+/// The serving layer's unit of work. A Request carries its workload identity
+/// (arrival time, prompt length, decode budget — workload::RequestSpec), the
+/// routing traces that realise it, and the lifecycle state the ServeEngine
+/// drives it through:
+///
+///     Queued ──admit──► Prefill ──last chunk──► Decode ──budget──► Finished
+///
+/// Requests with no prompt chunks (already-prefilled sessions, e.g. the
+/// ExperimentHarness decode adapter) enter directly in Decode; requests with
+/// no decode budget finish when their last prefill chunk completes.
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/request_stream.hpp"
+#include "workload/trace.hpp"
+
+namespace hybrimoe::runtime {
+
+enum class RequestState : std::uint8_t { Queued, Prefill, Decode, Finished };
+
+[[nodiscard]] constexpr const char* to_string(RequestState s) noexcept {
+  switch (s) {
+    case RequestState::Queued: return "queued";
+    case RequestState::Prefill: return "prefill";
+    case RequestState::Decode: return "decode";
+    case RequestState::Finished: return "finished";
+  }
+  return "?";
+}
+
+struct Request {
+  workload::RequestSpec spec;
+  /// The prompt, split into the chunks the admission policy feeds the batch
+  /// (chunk token counts must sum to spec.prompt_tokens). One chunk = whole
+  /// prompt unless chunked prefill is enabled.
+  std::vector<workload::PrefillTrace> prefill_chunks;
+  /// One single-token forward per decode step (spec.decode_tokens steps).
+  workload::DecodeTrace decode;
+
+  // -- Lifecycle bookkeeping, owned by the ServeEngine --------------------
+  RequestState state = RequestState::Queued;
+  std::size_t next_chunk = 0;   ///< prefill progress
+  std::size_t next_step = 0;    ///< decode progress
+  double admit_time = 0.0;      ///< when the engine moved it out of the queue
+  double first_token_time = 0.0;
+  double last_token_time = 0.0;
+  double finish_time = 0.0;
+};
+
+}  // namespace hybrimoe::runtime

@@ -1,0 +1,225 @@
+#include "runtime/serve_engine.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hybrimoe::runtime {
+
+void ServeOptions::validate() const {
+  HYBRIMOE_REQUIRE(max_batch > 0, "max_batch must be positive");
+}
+
+namespace {
+
+/// Decorrelate per-request token streams from the stream seed (splitmix64).
+std::uint64_t request_trace_seed(std::uint64_t stream_seed, std::uint64_t id) {
+  std::uint64_t z = stream_seed ^ (0x9E3779B97F4A7C15ULL * (id + 1));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::vector<Request> materialize_requests(workload::TraceGenerator& generator,
+                                          std::span<const workload::RequestSpec> specs,
+                                          std::size_t max_prefill_chunk) {
+  std::vector<Request> requests;
+  requests.reserve(specs.size());
+  for (const auto& spec : specs) {
+    HYBRIMOE_REQUIRE(spec.prompt_tokens + spec.decode_tokens > 0,
+                     "request has no tokens");
+    Request request;
+    request.spec = spec;
+    generator.reset(request_trace_seed(generator.params().seed, spec.id));
+    std::size_t remaining = spec.prompt_tokens;
+    while (remaining > 0) {
+      const std::size_t chunk =
+          max_prefill_chunk == 0 ? remaining : std::min(max_prefill_chunk, remaining);
+      request.prefill_chunks.push_back(generator.generate_prefill(chunk));
+      remaining -= chunk;
+    }
+    if (spec.decode_tokens > 0)
+      request.decode = generator.generate_decode(spec.decode_tokens);
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+ServeEngine::ServeEngine(std::unique_ptr<OffloadEngine> engine)
+    : engine_(std::move(engine)) {
+  HYBRIMOE_REQUIRE(engine_ != nullptr, "serve engine requires an offload engine");
+}
+
+ServeMetrics ServeEngine::run(std::vector<Request> requests,
+                              const ServeOptions& options) {
+  options.validate();
+  HYBRIMOE_REQUIRE(!requests.empty(), "serving an empty request stream");
+  std::stable_sort(requests.begin(), requests.end(), [](const Request& a,
+                                                        const Request& b) {
+    return a.spec.arrival_time < b.spec.arrival_time;
+  });
+  for (const Request& r : requests) {
+    HYBRIMOE_REQUIRE(r.state == RequestState::Queued && r.next_chunk == 0 &&
+                         r.next_step == 0,
+                     "requests must be freshly materialised");
+    HYBRIMOE_REQUIRE(r.spec.arrival_time >= 0.0, "arrival time must be non-negative");
+    std::size_t chunk_tokens = 0;
+    for (const auto& chunk : r.prefill_chunks) {
+      HYBRIMOE_REQUIRE(options.max_prefill_chunk == 0 ||
+                           chunk.prompt_tokens <= options.max_prefill_chunk,
+                       "prefill chunk exceeds max_prefill_chunk");
+      chunk_tokens += chunk.prompt_tokens;
+    }
+    HYBRIMOE_REQUIRE(chunk_tokens == r.spec.prompt_tokens,
+                     "prefill chunks do not cover the prompt");
+    HYBRIMOE_REQUIRE(r.decode.num_steps() == r.spec.decode_tokens,
+                     "decode trace does not match the decode budget");
+    HYBRIMOE_REQUIRE(r.spec.prompt_tokens + r.spec.decode_tokens > 0,
+                     "request has no tokens");
+  }
+
+  ServeMetrics metrics;
+  metrics.requests.resize(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    RequestMetrics& m = metrics.requests[i];
+    m.id = requests[i].spec.id;
+    m.arrival = requests[i].spec.arrival_time;
+    m.prompt_tokens = requests[i].spec.prompt_tokens;
+  }
+  StageMetrics& steps = metrics.steps;
+  engine_->cache().reset_stats();
+
+  double clock = 0.0;
+  std::size_t next_arrival = 0;
+  std::size_t finished = 0;
+  bool any_decode = false;
+  std::vector<Request*> active;  // admission order == decode order
+  std::vector<const workload::ForwardTrace*> parts;
+  std::vector<Request*> decoding;
+  const auto index_of = [&](const Request* r) {
+    return static_cast<std::size_t>(r - requests.data());
+  };
+
+  while (finished < requests.size()) {
+    // FIFO admission while the batch has capacity.
+    while (next_arrival < requests.size() &&
+           requests[next_arrival].spec.arrival_time <= clock &&
+           active.size() < options.max_batch) {
+      Request& r = requests[next_arrival++];
+      r.admit_time = clock;
+      r.state = r.prefill_chunks.empty() ? RequestState::Decode : RequestState::Prefill;
+      metrics.requests[index_of(&r)].admit = clock;
+      active.push_back(&r);
+    }
+    if (active.empty()) {
+      // Nothing in flight: idle until the next arrival.
+      HYBRIMOE_ASSERT(next_arrival < requests.size(), "serve loop stalled");
+      clock = std::max(clock, requests[next_arrival].spec.arrival_time);
+      continue;
+    }
+
+    // Compose the step: at most one prefill chunk (earliest-admitted request
+    // still prefilling) plus every active decode.
+    parts.clear();
+    decoding.clear();
+    Request* prefilling = nullptr;
+    std::size_t prefill_tokens = 0;
+    std::size_t decode_tokens = 0;
+    for (Request* r : active) {
+      if (r->state == RequestState::Prefill) {
+        if (prefilling != nullptr) continue;  // one chunk per step
+        prefilling = r;
+        const workload::ForwardTrace& chunk = r->prefill_chunks[r->next_chunk].forward;
+        parts.push_back(&chunk);
+        prefill_tokens += chunk.tokens;
+      } else {
+        HYBRIMOE_ASSERT(r->state == RequestState::Decode, "active request not runnable");
+        const workload::ForwardTrace& step = r->decode.steps[r->next_step];
+        parts.push_back(&step);
+        decode_tokens += step.tokens;
+        decoding.push_back(r);
+      }
+    }
+    HYBRIMOE_ASSERT(!parts.empty(), "composed an empty step");
+    const sched::Stage stage = sched::dominant_stage(prefill_tokens, decode_tokens);
+    if (!decoding.empty()) any_decode = true;
+
+    double latency;
+    if (parts.size() == 1) {
+      latency = engine_->run_step(*parts.front(), stage, steps);
+    } else {
+      const workload::ForwardTrace merged = workload::merge_forward_traces(parts);
+      latency = engine_->run_step(merged, stage, steps);
+    }
+    steps.per_forward.push_back(latency);
+    steps.total_latency += latency;
+    steps.tokens += prefill_tokens + decode_tokens;
+    clock += latency;
+
+    // Lifecycle bookkeeping at the step's completion instant.
+    if (prefilling != nullptr) {
+      ++prefilling->next_chunk;
+      if (prefilling->next_chunk == prefilling->prefill_chunks.size()) {
+        // Prompt fully processed: the first output token is ready.
+        RequestMetrics& m = metrics.requests[index_of(prefilling)];
+        prefilling->first_token_time = clock;
+        prefilling->last_token_time = clock;
+        m.first_token = clock;
+        ++m.generated_tokens;
+        if (prefilling->decode.num_steps() > 0) {
+          prefilling->state = RequestState::Decode;
+        } else {
+          prefilling->state = RequestState::Finished;
+          prefilling->finish_time = clock;
+          m.finish = clock;
+          ++finished;
+        }
+      }
+    }
+    for (Request* r : decoding) {
+      RequestMetrics& m = metrics.requests[index_of(r)];
+      if (r->prefill_chunks.empty() && r->next_step == 0) {
+        // Promptless session: its first decode token is its first token.
+        r->first_token_time = clock;
+        m.first_token = clock;
+      } else {
+        m.tbt.push_back(clock - r->last_token_time);
+      }
+      r->last_token_time = clock;
+      ++m.generated_tokens;
+      ++r->next_step;
+      if (r->next_step == r->decode.num_steps()) {
+        r->state = RequestState::Finished;
+        r->finish_time = clock;
+        m.finish = clock;
+        ++finished;
+      }
+    }
+    std::erase_if(active,
+                  [](const Request* r) { return r->state == RequestState::Finished; });
+  }
+
+  metrics.makespan = clock;
+  steps.stage = any_decode ? sched::Stage::Decode : sched::Stage::Prefill;
+  // Merge the cache's own counters with the transient-buffer hits run_step
+  // accumulated, exactly as run_prefill/run_decode do.
+  cache::CacheStats stats = engine_->cache().stats();
+  stats.hits += steps.cache.hits;
+  steps.cache = stats;
+
+  // Finished-request accounting: every request ran to completion with
+  // exactly its budgeted tokens.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Request& r = requests[i];
+    HYBRIMOE_ASSERT(r.state == RequestState::Finished, "unfinished request at exit");
+    const std::size_t expected =
+        (r.spec.prompt_tokens > 0 ? 1 : 0) + r.spec.decode_tokens;
+    HYBRIMOE_ASSERT(metrics.requests[i].generated_tokens == expected,
+                    "request token accounting mismatch");
+  }
+  return metrics;
+}
+
+}  // namespace hybrimoe::runtime

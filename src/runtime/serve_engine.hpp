@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file serve_engine.hpp
+/// Request-level serving on top of the offload runtime. The ServeEngine
+/// wraps an OffloadEngine with an admission queue and continuous batching:
+/// each step it composes a mixed batch — at most one prefill chunk (the
+/// earliest-admitted request still in Prefill) plus every active decode —
+/// merges the per-request routings into the combined per-layer expert
+/// multiset (workload::merge_forward_traces), and drives the wrapped
+/// engine's scheduler / cache / prefetcher machinery through it via
+/// OffloadEngine::run_step. The scheduling regime of a mixed step follows
+/// the token mass (sched::dominant_stage).
+///
+/// Time is the cost model's virtual clock: each composed step advances it by
+/// the step's simulated latency; idle gaps waiting for the next arrival
+/// advance it to that arrival. Admission is FIFO in arrival order with a
+/// `max_batch` cap, so no request starves: slots free as requests finish and
+/// the queue drains in order.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "runtime/engine.hpp"
+#include "runtime/request.hpp"
+#include "runtime/serve_metrics.hpp"
+#include "workload/generator.hpp"
+
+namespace hybrimoe::runtime {
+
+struct ServeOptions {
+  /// Maximum concurrently active (admitted, unfinished) requests.
+  std::size_t max_batch = 8;
+  /// Prompt chunk size: materialize_requests splits prompts into chunks of
+  /// at most this many tokens (0 = whole prompt in one step), and
+  /// ServeEngine::run enforces that the requests it is handed respect it.
+  std::size_t max_prefill_chunk = 0;
+
+  void validate() const;
+};
+
+/// Materialise routing traces for a request stream: per request, reset the
+/// generator to a seed derived from (generator seed, request id), then
+/// generate its prompt chunks and decode steps as one continuous latent
+/// process. Deterministic per request and independent of batch composition,
+/// so every framework serves byte-identical traffic and a request's routing
+/// doesn't change when the batching dynamics do.
+[[nodiscard]] std::vector<Request> materialize_requests(
+    workload::TraceGenerator& generator,
+    std::span<const workload::RequestSpec> specs, std::size_t max_prefill_chunk = 0);
+
+class ServeEngine {
+ public:
+  explicit ServeEngine(std::unique_ptr<OffloadEngine> engine);
+
+  [[nodiscard]] OffloadEngine& engine() noexcept { return *engine_; }
+  [[nodiscard]] const OffloadEngine& engine() const noexcept { return *engine_; }
+
+  /// Serve the stream to completion. Requests must be freshly materialised
+  /// (Queued, cursors at zero, chunk/step counts matching their specs); they
+  /// are processed FIFO by arrival time. Returns per-request metrics in
+  /// arrival order plus the aggregate step metrics; asserts that every
+  /// request finished with exactly its budgeted tokens.
+  [[nodiscard]] ServeMetrics run(std::vector<Request> requests,
+                                 const ServeOptions& options = {});
+
+ private:
+  std::unique_ptr<OffloadEngine> engine_;
+};
+
+}  // namespace hybrimoe::runtime

@@ -1,0 +1,150 @@
+#pragma once
+
+/// \file serve_metrics.hpp
+/// Request-level serving measurements, the counterpart of StageMetrics for
+/// the ServeEngine: per-request TTFT / TBT / E2E and queueing delay, plus
+/// stream aggregates (throughput, tail percentiles via util/stats, goodput
+/// under a TBT SLO). Same contract style as StageMetrics::tbt_mean() — any
+/// accessor whose value would be a 0/0 is guarded by a precondition instead
+/// of silently returning garbage.
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/metrics.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace hybrimoe::runtime {
+
+/// Lifecycle timestamps and latency samples of one *finished* request.
+struct RequestMetrics {
+  std::uint64_t id = 0;
+  double arrival = 0.0;      ///< entered the admission queue
+  double admit = 0.0;        ///< left the queue (first batch membership)
+  double first_token = 0.0;  ///< last prefill chunk (or first decode step) done
+  double finish = 0.0;       ///< final token done
+  std::size_t prompt_tokens = 0;
+  std::size_t generated_tokens = 0;   ///< emitted tokens (first + decode steps)
+  std::vector<double> tbt;            ///< inter-token gaps, one per decode step
+
+  [[nodiscard]] double ttft() const {
+    HYBRIMOE_REQUIRE(generated_tokens > 0, "request emitted no tokens");
+    return first_token - arrival;
+  }
+  [[nodiscard]] double queueing_delay() const { return admit - arrival; }
+  [[nodiscard]] double e2e() const {
+    HYBRIMOE_REQUIRE(finish >= arrival, "request never finished");
+    return finish - arrival;
+  }
+  [[nodiscard]] double tbt_mean() const {
+    HYBRIMOE_REQUIRE(!tbt.empty(), "no decode gaps recorded");
+    return util::mean(tbt);
+  }
+  /// SLO check used by goodput: the request's p95 inter-token gap stays
+  /// within `tbt_slo`. Requests with no decode steps trivially meet it.
+  [[nodiscard]] bool meets_tbt_slo(double tbt_slo) const {
+    HYBRIMOE_REQUIRE(tbt_slo > 0.0, "TBT SLO must be positive");
+    return tbt.empty() || util::p95(tbt) <= tbt_slo;
+  }
+};
+
+/// Aggregate result of one ServeEngine::run: every request's metrics (in
+/// arrival order, all finished — the engine asserts completion), the summed
+/// engine counters over the composed steps, and the serving clock.
+struct ServeMetrics {
+  std::vector<RequestMetrics> requests;
+  /// Engine counters accumulated across every composed step: per-step
+  /// latencies in per_forward, busy times, cache stats, transfer counts.
+  StageMetrics steps;
+  /// Final serving clock — busy step time plus idle gaps waiting for
+  /// arrivals. Rates divide by this, not by steps.total_latency.
+  double makespan = 0.0;
+
+  [[nodiscard]] std::size_t total_generated_tokens() const {
+    std::size_t total = 0;
+    for (const auto& r : requests) total += r.generated_tokens;
+    return total;
+  }
+
+  /// Output tokens per second of serving time (0 for an empty run).
+  [[nodiscard]] double throughput() const {
+    return makespan > 0.0 ? static_cast<double>(total_generated_tokens()) / makespan
+                          : 0.0;
+  }
+  /// Finished requests per second of serving time (0 for an empty run).
+  [[nodiscard]] double request_throughput() const {
+    return makespan > 0.0 ? static_cast<double>(requests.size()) / makespan : 0.0;
+  }
+  /// Output tokens per second from requests that met the TBT SLO — the
+  /// throughput a latency-bound deployment can actually sell.
+  [[nodiscard]] double goodput(double tbt_slo) const {
+    if (makespan <= 0.0) return 0.0;
+    std::size_t tokens = 0;
+    for (const auto& r : requests)
+      if (r.meets_tbt_slo(tbt_slo)) tokens += r.generated_tokens;
+    return static_cast<double>(tokens) / makespan;
+  }
+
+  // -- Latency distributions ---------------------------------------------
+  [[nodiscard]] std::vector<double> ttfts() const {
+    std::vector<double> out;
+    out.reserve(requests.size());
+    for (const auto& r : requests) out.push_back(r.ttft());
+    return out;
+  }
+  [[nodiscard]] std::vector<double> e2es() const {
+    std::vector<double> out;
+    out.reserve(requests.size());
+    for (const auto& r : requests) out.push_back(r.e2e());
+    return out;
+  }
+  [[nodiscard]] std::vector<double> queueing_delays() const {
+    std::vector<double> out;
+    out.reserve(requests.size());
+    for (const auto& r : requests) out.push_back(r.queueing_delay());
+    return out;
+  }
+  /// All inter-token gaps pooled across requests.
+  [[nodiscard]] std::vector<double> tbts() const {
+    std::vector<double> out;
+    for (const auto& r : requests) out.insert(out.end(), r.tbt.begin(), r.tbt.end());
+    return out;
+  }
+
+  /// The p50/p95/p99 trio the serving tables report.
+  struct TailSummary {
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  [[nodiscard]] TailSummary ttft_tails() const { return tails(ttfts(), "no finished requests"); }
+  [[nodiscard]] TailSummary tbt_tails() const { return tails(tbts(), "no decode gaps recorded"); }
+  [[nodiscard]] TailSummary e2e_tails() const { return tails(e2es(), "no finished requests"); }
+
+  /// Tail accessors (q in [0,100]); require at least one sample.
+  [[nodiscard]] double ttft_p(double q) const {
+    const auto v = ttfts();
+    HYBRIMOE_REQUIRE(!v.empty(), "no finished requests");
+    return util::percentile(v, q);
+  }
+  [[nodiscard]] double tbt_p(double q) const {
+    const auto v = tbts();
+    HYBRIMOE_REQUIRE(!v.empty(), "no decode gaps recorded");
+    return util::percentile(v, q);
+  }
+  [[nodiscard]] double e2e_p(double q) const {
+    const auto v = e2es();
+    HYBRIMOE_REQUIRE(!v.empty(), "no finished requests");
+    return util::percentile(v, q);
+  }
+
+ private:
+  [[nodiscard]] static TailSummary tails(const std::vector<double>& v,
+                                         const char* what) {
+    HYBRIMOE_REQUIRE(!v.empty(), what);
+    return {util::p50(v), util::p95(v), util::p99(v)};
+  }
+};
+
+}  // namespace hybrimoe::runtime

@@ -14,6 +14,29 @@ workload::TraceGenParams warmup_params(const workload::TraceGenParams& base) {
   return p;
 }
 
+/// Stage adapters: one isolated request through the serving layer. A single
+/// whole-prompt (or prompt-free decode) request composes every step from
+/// exactly the shared stage trace, so these reproduce the pre-serving
+/// run_prefill/run_decode numbers bit for bit.
+StageMetrics serve_one_prefill(std::unique_ptr<OffloadEngine> engine,
+                               const workload::PrefillTrace& trace) {
+  std::vector<Request> requests(1);
+  requests[0].spec.prompt_tokens = trace.prompt_tokens;
+  requests[0].prefill_chunks.push_back(trace);
+  ServeEngine serve(std::move(engine));
+  return serve.run(std::move(requests)).steps;
+}
+
+StageMetrics serve_one_decode(std::unique_ptr<OffloadEngine> engine,
+                              const workload::DecodeTrace& trace) {
+  HYBRIMOE_REQUIRE(trace.num_steps() > 0, "decode trace is empty");
+  std::vector<Request> requests(1);
+  requests[0].spec.decode_tokens = trace.num_steps();
+  requests[0].decode = trace;
+  ServeEngine serve(std::move(engine));
+  return serve.run(std::move(requests)).steps;
+}
+
 }  // namespace
 
 ExperimentHarness::ExperimentHarness(ExperimentSpec spec)
@@ -65,24 +88,49 @@ std::unique_ptr<OffloadEngine> ExperimentHarness::build(
 
 StageMetrics ExperimentHarness::run_prefill(Framework framework, std::size_t tokens) {
   const auto& trace = prefill_trace(tokens);
-  return build(framework)->run_prefill(trace);
+  return serve_one_prefill(build(framework), trace);
 }
 
 StageMetrics ExperimentHarness::run_decode(Framework framework, std::size_t steps) {
   const auto& trace = decode_trace(steps);
-  return build(framework)->run_decode(trace);
+  return serve_one_decode(build(framework), trace);
 }
 
 StageMetrics ExperimentHarness::run_prefill(const core::HybriMoeConfig& config,
                                             std::size_t tokens) {
   const auto& trace = prefill_trace(tokens);
-  return build(config)->run_prefill(trace);
+  return serve_one_prefill(build(config), trace);
 }
 
 StageMetrics ExperimentHarness::run_decode(const core::HybriMoeConfig& config,
                                            std::size_t steps) {
   const auto& trace = decode_trace(steps);
-  return build(config)->run_decode(trace);
+  return serve_one_decode(build(config), trace);
+}
+
+std::vector<Request> ExperimentHarness::materialize(
+    std::span<const workload::RequestSpec> requests, std::size_t max_prefill_chunk) {
+  return materialize_requests(generator_, requests, max_prefill_chunk);
+}
+
+ServeMetrics ExperimentHarness::serve(Framework framework,
+                                      std::span<const workload::RequestSpec> requests,
+                                      const ServeOptions& options) {
+  return serve(framework, materialize(requests, options.max_prefill_chunk), options);
+}
+
+ServeMetrics ExperimentHarness::serve(const core::HybriMoeConfig& config,
+                                      std::span<const workload::RequestSpec> requests,
+                                      const ServeOptions& options) {
+  ServeEngine engine(build(config));
+  return engine.run(materialize(requests, options.max_prefill_chunk), options);
+}
+
+ServeMetrics ExperimentHarness::serve(Framework framework,
+                                      std::vector<Request> requests,
+                                      const ServeOptions& options) {
+  ServeEngine engine(build(framework));
+  return engine.run(std::move(requests), options);
 }
 
 }  // namespace hybrimoe::runtime

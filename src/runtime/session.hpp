@@ -10,12 +10,21 @@
 ///    no framework gets oracle knowledge of the evaluation trace;
 ///  * each run starts from a freshly built engine with a freshly seeded
 ///    cache.
+///
+/// Since the serving redesign the harness is a thin adapter over the
+/// request-level API: run_prefill/run_decode submit a single request to a
+/// ServeEngine (reproducing the stage experiments exactly), and serve() runs
+/// a full request stream with continuous batching under the same fairness
+/// rules — identical per-request traces and warmup for every framework.
 
 #include <map>
 #include <memory>
+#include <span>
 
 #include "runtime/frameworks.hpp"
+#include "runtime/serve_engine.hpp"
 #include "workload/generator.hpp"
+#include "workload/request_stream.hpp"
 
 namespace hybrimoe::runtime {
 
@@ -57,6 +66,27 @@ class ExperimentHarness {
                                          std::size_t tokens);
   [[nodiscard]] StageMetrics run_decode(const core::HybriMoeConfig& config,
                                         std::size_t steps);
+
+  // -- Request-level serving runners ---------------------------------------
+  /// Materialise request traces deterministically from this harness's
+  /// generator — identical for every framework (same fairness rule as the
+  /// stage experiments). Sweeps comparing frameworks at one load should
+  /// materialise once and hand each serve() call a copy.
+  [[nodiscard]] std::vector<Request> materialize(
+      std::span<const workload::RequestSpec> requests,
+      std::size_t max_prefill_chunk = 0);
+
+  /// Serve a request stream with continuous batching on a freshly built
+  /// framework engine (materialises traces internally).
+  [[nodiscard]] ServeMetrics serve(Framework framework,
+                                   std::span<const workload::RequestSpec> requests,
+                                   const ServeOptions& options = {});
+  [[nodiscard]] ServeMetrics serve(const core::HybriMoeConfig& config,
+                                   std::span<const workload::RequestSpec> requests,
+                                   const ServeOptions& options = {});
+  /// Serve pre-materialised requests (from materialize()).
+  [[nodiscard]] ServeMetrics serve(Framework framework, std::vector<Request> requests,
+                                   const ServeOptions& options = {});
 
  private:
   ExperimentSpec spec_;

@@ -11,6 +11,12 @@ namespace {
 constexpr double kTimeEps = 1e-9;
 }
 
+Stage dominant_stage(std::size_t prefill_tokens, std::size_t decode_tokens) noexcept {
+  if (prefill_tokens == 0) return Stage::Decode;
+  if (decode_tokens == 0) return Stage::Prefill;
+  return prefill_tokens >= decode_tokens ? Stage::Prefill : Stage::Decode;
+}
+
 std::vector<moe::ExpertId> LayerPlan::transferred_experts() const {
   std::vector<moe::ExpertId> out;
   for (const auto& t : tasks)

@@ -25,6 +25,15 @@ enum class Stage : std::uint8_t { Prefill, Decode };
   return s == Stage::Prefill ? "prefill" : "decode";
 }
 
+/// Batch-composition entry point for the serving layer: which scheduling
+/// regime a *mixed* continuous-batching step (one prefill chunk plus the
+/// active decode tokens) runs under. The stage is decided by which kind of
+/// work carries the step's token mass — a chunk of 128 prompt tokens next to
+/// three decode tokens schedules like prefill (stream misses to the GPU), a
+/// two-token tail chunk amid a full decode batch schedules like decode.
+[[nodiscard]] Stage dominant_stage(std::size_t prefill_tokens,
+                                   std::size_t decode_tokens) noexcept;
+
 enum class ComputeDevice : std::uint8_t { Cpu, Gpu };
 
 /// One activated expert of the current layer as the scheduler sees it.

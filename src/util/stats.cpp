@@ -59,6 +59,12 @@ double percentile(std::span<const double> values, double q) {
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
+double p50(std::span<const double> values) { return percentile(values, 50.0); }
+
+double p95(std::span<const double> values) { return percentile(values, 95.0); }
+
+double p99(std::span<const double> values) { return percentile(values, 99.0); }
+
 double mean(std::span<const double> values) noexcept {
   if (values.empty()) return 0.0;
   return std::accumulate(values.begin(), values.end(), 0.0) /

@@ -37,6 +37,13 @@ class RunningStats {
 /// Linear-interpolated percentile, q in [0,100]. Copies and sorts its input.
 [[nodiscard]] double percentile(std::span<const double> values, double q);
 
+/// Serving-tail shorthands for the latency distributions reported by the
+/// serving metrics (p50/p95/p99 TTFT, TBT, E2E). Same contract as
+/// percentile(): non-empty input required.
+[[nodiscard]] double p50(std::span<const double> values);
+[[nodiscard]] double p95(std::span<const double> values);
+[[nodiscard]] double p99(std::span<const double> values);
+
 /// Arithmetic mean of a span (0 for empty input).
 [[nodiscard]] double mean(std::span<const double> values) noexcept;
 

@@ -22,6 +22,69 @@ std::vector<std::vector<double>> activation_frequencies(const DecodeTrace& trace
   return freq;
 }
 
+namespace {
+
+/// Token-weighted union of concurrent routings of the same layer.
+moe::LayerRouting merge_layer_routing(std::span<const moe::LayerRouting* const> rows) {
+  const std::size_t experts = rows[0]->loads.size();
+  moe::LayerRouting merged;
+  merged.loads.assign(experts, 0);
+  std::vector<double> score_acc(experts, 0.0);
+  std::size_t tokens = 0;
+  for (const moe::LayerRouting* row : rows) {
+    HYBRIMOE_REQUIRE(row->loads.size() == experts && row->scores.size() == experts,
+                     "merging traces of different models");
+    for (std::size_t e = 0; e < experts; ++e) {
+      merged.loads[e] += row->loads[e];
+      score_acc[e] +=
+          static_cast<double>(row->scores[e]) * static_cast<double>(row->total_tokens);
+    }
+    tokens += row->total_tokens;
+  }
+  HYBRIMOE_ASSERT(tokens > 0, "merged layer routing has no tokens");
+  merged.total_tokens = tokens;
+  merged.scores.resize(experts);
+  for (std::size_t e = 0; e < experts; ++e)
+    merged.scores[e] = static_cast<float>(score_acc[e] / static_cast<double>(tokens));
+  return merged;
+}
+
+}  // namespace
+
+ForwardTrace merge_forward_traces(std::span<const ForwardTrace* const> parts) {
+  HYBRIMOE_REQUIRE(!parts.empty(), "nothing to merge");
+  if (parts.size() == 1) return *parts[0];
+  const std::size_t layers = parts[0]->num_layers();
+  ForwardTrace merged;
+  merged.layers.reserve(layers);
+  merged.predictions.resize(layers);
+  for (const ForwardTrace* part : parts) {
+    HYBRIMOE_REQUIRE(part->num_layers() == layers,
+                     "merging traces of different models");
+    merged.tokens += part->tokens;
+  }
+  std::vector<const moe::LayerRouting*> rows(parts.size());
+  for (std::size_t l = 0; l < layers; ++l) {
+    for (std::size_t p = 0; p < parts.size(); ++p) rows[p] = &parts[p]->layers[l];
+    merged.layers.push_back(merge_layer_routing(rows));
+    // Predictions merge up to the shallowest lookahead any part carries.
+    // Rows may be absent entirely (predictions shorter than layers is a
+    // valid trace per ForwardTrace::prediction's own guard).
+    auto lookahead = [l](const ForwardTrace& t) {
+      return l < t.predictions.size() ? t.predictions[l].size() : std::size_t{0};
+    };
+    std::size_t depth = lookahead(*parts[0]);
+    for (const ForwardTrace* part : parts) depth = std::min(depth, lookahead(*part));
+    merged.predictions[l].reserve(depth);
+    for (std::size_t d = 0; d < depth; ++d) {
+      for (std::size_t p = 0; p < parts.size(); ++p)
+        rows[p] = &parts[p]->predictions[l][d];
+      merged.predictions[l].push_back(merge_layer_routing(rows));
+    }
+  }
+  return merged;
+}
+
 void TraceGenParams::validate() const {
   HYBRIMOE_REQUIRE(d_latent >= 4, "d_latent too small for meaningful gates");
   HYBRIMOE_REQUIRE(token_rho >= 0.0 && token_rho < 1.0, "token_rho must be in [0,1)");

@@ -1,0 +1,66 @@
+#include "workload/request_stream.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace hybrimoe::workload {
+
+void RequestStreamParams::validate() const {
+  HYBRIMOE_REQUIRE(num_requests > 0, "stream needs at least one request");
+  HYBRIMOE_REQUIRE(arrival_rate > 0.0, "arrival_rate must be positive");
+  HYBRIMOE_REQUIRE(burst_size > 0, "burst_size must be positive");
+  HYBRIMOE_REQUIRE(prompt_tokens_min >= 1, "requests need at least one prompt token");
+  HYBRIMOE_REQUIRE(prompt_tokens_min <= prompt_tokens_max,
+                   "prompt token range is inverted");
+  HYBRIMOE_REQUIRE(decode_tokens_min <= decode_tokens_max,
+                   "decode token range is inverted");
+}
+
+namespace {
+
+/// Exponential inter-arrival gap with the given rate (events per second).
+double exponential_gap(util::Rng& rng, double rate) {
+  // uniform() is in [0, 1), so log1p(-u) is finite.
+  return -std::log1p(-rng.uniform()) / rate;
+}
+
+std::size_t uniform_length(util::Rng& rng, std::size_t lo, std::size_t hi) {
+  return static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
+}
+
+}  // namespace
+
+std::vector<RequestSpec> generate_request_stream(const RequestStreamParams& params) {
+  params.validate();
+  util::Rng rng(params.seed);
+  std::vector<RequestSpec> stream;
+  stream.reserve(params.num_requests);
+  double clock = 0.0;
+  for (std::size_t i = 0; i < params.num_requests; ++i) {
+    switch (params.process) {
+      case ArrivalProcess::Poisson:
+        clock += exponential_gap(rng, params.arrival_rate);
+        break;
+      case ArrivalProcess::Burst:
+        // One gap per group, scaled so the mean request rate is unchanged:
+        // groups of `burst_size` arrive at rate arrival_rate / burst_size.
+        if (i % params.burst_size == 0)
+          clock += exponential_gap(
+              rng, params.arrival_rate / static_cast<double>(params.burst_size));
+        break;
+    }
+    RequestSpec spec;
+    spec.id = i;
+    spec.arrival_time = clock;
+    spec.prompt_tokens =
+        uniform_length(rng, params.prompt_tokens_min, params.prompt_tokens_max);
+    spec.decode_tokens =
+        uniform_length(rng, params.decode_tokens_min, params.decode_tokens_max);
+    stream.push_back(spec);
+  }
+  return stream;
+}
+
+}  // namespace hybrimoe::workload

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file request_stream.hpp
+/// Deterministic request-arrival streams for the serving layer. A stream is
+/// the workload-side half of a serving experiment: *when* requests arrive
+/// and *how big* they are (prompt length, decode budget). The routing
+/// content of each request is materialised separately from the same trace
+/// generator the stage experiments use, so every framework serves the
+/// identical traffic.
+///
+/// Two arrival processes cover the regimes the serving bench sweeps:
+///  * Poisson — i.i.d. exponential inter-arrival gaps at `arrival_rate`
+///    requests per second (open-loop steady traffic);
+///  * Burst   — requests arrive in simultaneous groups of `burst_size`,
+///    with exponential gaps between groups scaled so the *mean* request
+///    rate still equals `arrival_rate` (flash-crowd traffic).
+///
+/// Like TraceGenParams, everything is seeded: the same params produce the
+/// same stream, byte for byte, run to run.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hybrimoe::workload {
+
+enum class ArrivalProcess : std::uint8_t { Poisson, Burst };
+
+[[nodiscard]] constexpr const char* to_string(ArrivalProcess p) noexcept {
+  return p == ArrivalProcess::Poisson ? "poisson" : "burst";
+}
+
+/// One request as the admission queue sees it: identity, arrival instant and
+/// size. Prompt/decode lengths are in tokens; `decode_tokens` is the decode
+/// budget — the number of single-token decode steps after the prefill.
+struct RequestSpec {
+  std::uint64_t id = 0;
+  double arrival_time = 0.0;
+  std::size_t prompt_tokens = 0;
+  std::size_t decode_tokens = 0;
+};
+
+struct RequestStreamParams {
+  std::size_t num_requests = 16;
+  double arrival_rate = 2.0;  ///< mean requests per second
+  ArrivalProcess process = ArrivalProcess::Poisson;
+  std::size_t burst_size = 4;  ///< requests per group (Burst only)
+  /// Mixed request sizes: lengths are drawn uniformly from these inclusive
+  /// ranges, so a stream interleaves short interactive requests with long
+  /// prompts — the batch compositions that shift per-expert loads between
+  /// the decode and prefill regimes.
+  std::size_t prompt_tokens_min = 16;
+  std::size_t prompt_tokens_max = 96;
+  std::size_t decode_tokens_min = 8;
+  std::size_t decode_tokens_max = 24;
+  std::uint64_t seed = 42;
+
+  void validate() const;
+};
+
+/// Generate the stream: `num_requests` specs with non-decreasing arrival
+/// times and ids 0..n-1 in arrival order. Deterministic in `params`.
+[[nodiscard]] std::vector<RequestSpec> generate_request_stream(
+    const RequestStreamParams& params);
+
+}  // namespace hybrimoe::workload

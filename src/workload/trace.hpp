@@ -9,6 +9,7 @@
 /// mechanism: "reusing the gating information from those layers").
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "moe/model_config.hpp"
@@ -52,6 +53,16 @@ struct DecodeTrace {
 
   [[nodiscard]] std::size_t num_steps() const noexcept { return steps.size(); }
 };
+
+/// Compose one forward pass from several concurrent ones — the serving
+/// layer's continuous-batching step (one prefill chunk plus every active
+/// decode token runs through the layers together). Per-layer loads add up
+/// into the combined expert multiset, scores merge as the token-weighted
+/// mean (the batch-mean softmax of the union batch), and predictions merge
+/// likewise up to the shallowest common lookahead. All parts must come from
+/// the same model (equal layer/expert counts).
+[[nodiscard]] ForwardTrace merge_forward_traces(
+    std::span<const ForwardTrace* const> parts);
 
 /// Aggregate per-expert activation counts over a decode trace — the raw
 /// material of the paper's Fig. 3(a) CDF and the kTransformers-style static

@@ -1,0 +1,109 @@
+#include "runtime/serve_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace hybrimoe::runtime {
+namespace {
+
+RequestMetrics finished_request(std::uint64_t id, double arrival, double first_token,
+                                double finish, std::vector<double> tbt) {
+  RequestMetrics r;
+  r.id = id;
+  r.arrival = arrival;
+  r.admit = arrival;
+  r.first_token = first_token;
+  r.finish = finish;
+  r.prompt_tokens = 8;
+  r.generated_tokens = 1 + tbt.size();
+  r.tbt = std::move(tbt);
+  return r;
+}
+
+TEST(RequestMetricsTest, DerivedLatencies) {
+  const auto r = finished_request(0, 1.0, 3.0, 7.0, {2.0, 2.0});
+  EXPECT_DOUBLE_EQ(r.ttft(), 2.0);
+  EXPECT_DOUBLE_EQ(r.e2e(), 6.0);
+  EXPECT_DOUBLE_EQ(r.queueing_delay(), 0.0);
+  EXPECT_DOUBLE_EQ(r.tbt_mean(), 2.0);
+}
+
+TEST(RequestMetricsTest, GuardsAgainstEmptyAccounting) {
+  RequestMetrics r;
+  EXPECT_THROW((void)r.ttft(), std::invalid_argument);   // emitted no tokens
+  EXPECT_THROW((void)r.tbt_mean(), std::invalid_argument);  // no decode gaps
+  r.arrival = 5.0;
+  r.finish = 1.0;  // never finished (finish < arrival)
+  EXPECT_THROW((void)r.e2e(), std::invalid_argument);
+}
+
+TEST(RequestMetricsTest, TbtSloSemantics) {
+  const auto r = finished_request(0, 0.0, 1.0, 5.0, {1.0, 1.0, 4.0});
+  EXPECT_THROW((void)r.meets_tbt_slo(0.0), std::invalid_argument);
+  EXPECT_FALSE(r.meets_tbt_slo(1.5));  // p95 dominated by the 4.0 stall
+  EXPECT_TRUE(r.meets_tbt_slo(4.0));
+  // Prefill-only requests trivially meet any SLO.
+  const auto prefill_only = finished_request(1, 0.0, 1.0, 1.0, {});
+  EXPECT_TRUE(prefill_only.meets_tbt_slo(0.001));
+}
+
+TEST(ServeMetricsTest, EmptyStreamIsGuardedNotDivided) {
+  const ServeMetrics m;
+  EXPECT_DOUBLE_EQ(m.throughput(), 0.0);          // no 0/0
+  EXPECT_DOUBLE_EQ(m.request_throughput(), 0.0);
+  EXPECT_DOUBLE_EQ(m.goodput(0.1), 0.0);
+  EXPECT_EQ(m.total_generated_tokens(), 0U);
+  EXPECT_THROW((void)m.ttft_p(95.0), std::invalid_argument);
+  EXPECT_THROW((void)m.tbt_p(95.0), std::invalid_argument);
+  EXPECT_THROW((void)m.e2e_p(95.0), std::invalid_argument);
+}
+
+TEST(ServeMetricsTest, TailsUsePooledSamples) {
+  ServeMetrics m;
+  m.makespan = 10.0;
+  m.requests.push_back(finished_request(0, 0.0, 1.0, 4.0, {1.0, 2.0}));
+  m.requests.push_back(finished_request(1, 1.0, 2.0, 9.0, {3.0, 4.0}));
+  EXPECT_DOUBLE_EQ(m.ttft_p(50.0), 1.0);  // both TTFTs are 1.0
+  EXPECT_DOUBLE_EQ(m.tbt_p(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.tbt_p(100.0), 4.0);
+  EXPECT_DOUBLE_EQ(m.tbt_p(50.0), 2.5);  // pooled {1,2,3,4}
+  EXPECT_DOUBLE_EQ(m.e2e_p(100.0), 8.0);
+  EXPECT_EQ(m.total_generated_tokens(), 6U);
+  EXPECT_DOUBLE_EQ(m.throughput(), 0.6);
+  EXPECT_DOUBLE_EQ(m.request_throughput(), 0.2);
+}
+
+TEST(ServeMetricsTest, TailSummariesMatchTheGenericAccessors) {
+  ServeMetrics m;
+  m.makespan = 10.0;
+  for (int i = 0; i < 20; ++i)
+    m.requests.push_back(finished_request(static_cast<std::uint64_t>(i), 0.0,
+                                          0.1 * (i + 1), 1.0 + i,
+                                          {0.2 * (i + 1), 0.3 * (i + 1)}));
+  const auto ttft = m.ttft_tails();
+  EXPECT_DOUBLE_EQ(ttft.p50, m.ttft_p(50.0));
+  EXPECT_DOUBLE_EQ(ttft.p95, m.ttft_p(95.0));
+  EXPECT_DOUBLE_EQ(ttft.p99, m.ttft_p(99.0));
+  const auto tbt = m.tbt_tails();
+  EXPECT_DOUBLE_EQ(tbt.p95, m.tbt_p(95.0));
+  EXPECT_LE(tbt.p50, tbt.p95);
+  EXPECT_LE(tbt.p95, tbt.p99);
+  const ServeMetrics empty;
+  EXPECT_THROW((void)empty.ttft_tails(), std::invalid_argument);
+  EXPECT_THROW((void)empty.tbt_tails(), std::invalid_argument);
+  EXPECT_THROW((void)empty.e2e_tails(), std::invalid_argument);
+}
+
+TEST(ServeMetricsTest, GoodputCountsOnlySloMeetingRequests) {
+  ServeMetrics m;
+  m.makespan = 10.0;
+  m.requests.push_back(finished_request(0, 0.0, 1.0, 4.0, {1.0, 1.0}));   // meets 2.0
+  m.requests.push_back(finished_request(1, 1.0, 2.0, 9.0, {5.0, 5.0}));  // misses 2.0
+  EXPECT_DOUBLE_EQ(m.goodput(2.0), 0.3);   // 3 of 6 tokens within SLO
+  EXPECT_DOUBLE_EQ(m.goodput(10.0), 0.6);  // everything within a loose SLO
+  EXPECT_THROW((void)m.goodput(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hybrimoe::runtime

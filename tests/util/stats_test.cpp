@@ -84,6 +84,24 @@ TEST(PercentileTest, RejectsBadInput) {
   EXPECT_THROW((void)percentile(xs, 101.0), std::invalid_argument);
 }
 
+TEST(PercentileTest, ServingTailShorthands) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(p50(xs), percentile(xs, 50.0));
+  EXPECT_DOUBLE_EQ(p95(xs), percentile(xs, 95.0));
+  EXPECT_DOUBLE_EQ(p99(xs), percentile(xs, 99.0));
+  EXPECT_DOUBLE_EQ(p50(xs), 50.5);
+  EXPECT_GT(p99(xs), p95(xs));
+  EXPECT_GT(p95(xs), p50(xs));
+}
+
+TEST(PercentileTest, ShorthandsRejectEmptyInput) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)p50(empty), std::invalid_argument);
+  EXPECT_THROW((void)p95(empty), std::invalid_argument);
+  EXPECT_THROW((void)p99(empty), std::invalid_argument);
+}
+
 TEST(MeanTest, Basics) {
   EXPECT_EQ(mean({}), 0.0);
   const std::vector<double> xs{2.0, 4.0};

@@ -216,5 +216,63 @@ TEST(TraceGeneratorTest, RejectsEmptyRequests) {
   EXPECT_THROW((void)gen.generate_prefill(0), std::invalid_argument);
 }
 
+TEST(MergeForwardTracesTest, CombinesLoadsScoresAndPredictions) {
+  const auto model = moe::ModelConfig::tiny(4, 16, 3);
+  TraceGenerator gen(model, test_params());
+  const auto a = gen.generate_decode(1).steps[0];
+  const auto b = gen.generate_prefill(5).forward;
+  const std::vector<const ForwardTrace*> parts{&a, &b};
+  const auto merged = merge_forward_traces(parts);
+  EXPECT_EQ(merged.tokens, a.tokens + b.tokens);
+  ASSERT_EQ(merged.num_layers(), model.num_layers);
+  for (std::size_t l = 0; l < model.num_layers; ++l) {
+    const auto& ml = merged.layers[l];
+    EXPECT_EQ(ml.total_tokens, a.layers[l].total_tokens + b.layers[l].total_tokens);
+    double score_sum = 0.0;
+    for (std::size_t e = 0; e < ml.loads.size(); ++e) {
+      EXPECT_EQ(ml.loads[e], a.layers[l].loads[e] + b.layers[l].loads[e]);
+      score_sum += ml.scores[e];
+    }
+    // Token-weighted mean of two (near-)unit-sum score vectors stays ~1.
+    EXPECT_NEAR(score_sum, 1.0, 1e-3);
+    EXPECT_EQ(merged.predictions[l].size(),
+              std::min(a.predictions[l].size(), b.predictions[l].size()));
+  }
+}
+
+TEST(MergeForwardTracesTest, SinglePartIsIdentity) {
+  const auto model = moe::ModelConfig::tiny(3, 8, 2);
+  TraceGenerator gen(model, test_params());
+  const auto a = gen.generate_decode(1).steps[0];
+  const std::vector<const ForwardTrace*> parts{&a};
+  const auto merged = merge_forward_traces(parts);
+  EXPECT_EQ(merged.tokens, a.tokens);
+  for (std::size_t l = 0; l < model.num_layers; ++l)
+    EXPECT_EQ(merged.layers[l].loads, a.layers[l].loads);
+}
+
+TEST(MergeForwardTracesTest, ToleratesTrimmedOrAbsentPredictions) {
+  const auto model = moe::ModelConfig::tiny(3, 8, 2);
+  TraceGenerator gen(model, test_params());
+  const auto a = gen.generate_decode(1).steps[0];
+  ForwardTrace bare = gen.generate_decode(1).steps[0];
+  bare.predictions.clear();  // valid per ForwardTrace::prediction's guard
+  const std::vector<const ForwardTrace*> parts{&a, &bare};
+  const auto merged = merge_forward_traces(parts);
+  for (std::size_t l = 0; l < model.num_layers; ++l)
+    EXPECT_TRUE(merged.predictions[l].empty());
+}
+
+TEST(MergeForwardTracesTest, RejectsMismatchedModels) {
+  TraceGenerator g3(moe::ModelConfig::tiny(3, 8, 2), test_params());
+  TraceGenerator g4(moe::ModelConfig::tiny(4, 8, 2), test_params());
+  const auto a = g3.generate_decode(1).steps[0];
+  const auto b = g4.generate_decode(1).steps[0];
+  const std::vector<const ForwardTrace*> parts{&a, &b};
+  EXPECT_THROW((void)merge_forward_traces(parts), std::invalid_argument);
+  const std::vector<const ForwardTrace*> empty;
+  EXPECT_THROW((void)merge_forward_traces(empty), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace hybrimoe::workload

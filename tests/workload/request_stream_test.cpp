@@ -1,0 +1,112 @@
+#include "workload/request_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace hybrimoe::workload {
+namespace {
+
+RequestStreamParams tiny_params() {
+  RequestStreamParams p;
+  p.num_requests = 32;
+  p.arrival_rate = 4.0;
+  p.prompt_tokens_min = 4;
+  p.prompt_tokens_max = 12;
+  p.decode_tokens_min = 2;
+  p.decode_tokens_max = 6;
+  p.seed = 7;
+  return p;
+}
+
+TEST(RequestStreamTest, DeterministicForSameSeed) {
+  const auto a = generate_request_stream(tiny_params());
+  const auto b = generate_request_stream(tiny_params());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_DOUBLE_EQ(a[i].arrival_time, b[i].arrival_time);
+    EXPECT_EQ(a[i].prompt_tokens, b[i].prompt_tokens);
+    EXPECT_EQ(a[i].decode_tokens, b[i].decode_tokens);
+  }
+}
+
+TEST(RequestStreamTest, DifferentSeedsDiffer) {
+  auto p = tiny_params();
+  const auto a = generate_request_stream(p);
+  p.seed = 8;
+  const auto b = generate_request_stream(p);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].arrival_time != b[i].arrival_time) any_different = true;
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RequestStreamTest, ArrivalsSortedIdsSequentialLengthsBounded) {
+  const auto p = tiny_params();
+  const auto stream = generate_request_stream(p);
+  ASSERT_EQ(stream.size(), p.num_requests);
+  double prev = 0.0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(stream[i].id, i);
+    EXPECT_GE(stream[i].arrival_time, prev);
+    prev = stream[i].arrival_time;
+    EXPECT_GE(stream[i].prompt_tokens, p.prompt_tokens_min);
+    EXPECT_LE(stream[i].prompt_tokens, p.prompt_tokens_max);
+    EXPECT_GE(stream[i].decode_tokens, p.decode_tokens_min);
+    EXPECT_LE(stream[i].decode_tokens, p.decode_tokens_max);
+  }
+}
+
+TEST(RequestStreamTest, PoissonMeanRateRoughlyMatches) {
+  auto p = tiny_params();
+  p.num_requests = 512;
+  const auto stream = generate_request_stream(p);
+  const double span = stream.back().arrival_time;
+  const double rate = static_cast<double>(p.num_requests) / span;
+  // Statistical check with a fixed seed: the empirical rate is within a
+  // generous factor of the nominal one.
+  EXPECT_GT(rate, p.arrival_rate * 0.7);
+  EXPECT_LT(rate, p.arrival_rate * 1.3);
+}
+
+TEST(RequestStreamTest, BurstGroupsArriveTogetherAtTheSameMeanRate) {
+  auto p = tiny_params();
+  p.process = ArrivalProcess::Burst;
+  p.burst_size = 4;
+  p.num_requests = 256;
+  const auto stream = generate_request_stream(p);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    if (i % p.burst_size != 0) {
+      EXPECT_DOUBLE_EQ(stream[i].arrival_time, stream[i - 1].arrival_time);
+    }
+  }
+  const double rate = static_cast<double>(p.num_requests) / stream.back().arrival_time;
+  EXPECT_GT(rate, p.arrival_rate * 0.7);
+  EXPECT_LT(rate, p.arrival_rate * 1.3);
+}
+
+TEST(RequestStreamTest, ValidateRejectsBadParams) {
+  auto p = tiny_params();
+  p.num_requests = 0;
+  EXPECT_THROW((void)generate_request_stream(p), std::invalid_argument);
+  p = tiny_params();
+  p.arrival_rate = 0.0;
+  EXPECT_THROW((void)generate_request_stream(p), std::invalid_argument);
+  p = tiny_params();
+  p.prompt_tokens_min = 0;
+  EXPECT_THROW((void)generate_request_stream(p), std::invalid_argument);
+  p = tiny_params();
+  p.prompt_tokens_min = 20;  // > max
+  EXPECT_THROW((void)generate_request_stream(p), std::invalid_argument);
+  p = tiny_params();
+  p.decode_tokens_min = 9;  // > max
+  EXPECT_THROW((void)generate_request_stream(p), std::invalid_argument);
+  p = tiny_params();
+  p.process = ArrivalProcess::Burst;
+  p.burst_size = 0;
+  EXPECT_THROW((void)generate_request_stream(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hybrimoe::workload
