@@ -5,14 +5,24 @@
 ///   3. run prefill and decode under every framework;
 ///   4. print TTFT / TBT with speedups relative to kTransformers —
 ///      the comparison the paper's headline numbers (1.33x / 1.70x) make.
+///
+/// With `--threaded`, a second pass runs the decode comparison through the
+/// real execution backend (src/exec): the same plans are dispatched onto
+/// worker threads / the copy engine and the modeled makespan is compared to
+/// measured wall clock (see docs/EXECUTION.md and bench_exec_validation).
 
+#include <cmath>
+#include <cstring>
 #include <iostream>
+#include <memory>
 
+#include "exec/executor.hpp"
 #include "runtime/session.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybrimoe;
+  const bool threaded = argc > 1 && std::strcmp(argv[1], "--threaded") == 0;
 
   runtime::ExperimentSpec spec;
   spec.model = moe::ModelConfig::deepseek();
@@ -55,6 +65,44 @@ int main() {
         .add_cell(util::format_speedup(ktrans_decode.tbt_mean() / decode.tbt_mean()));
   }
   table.print(std::cout);
+
+  if (threaded) {
+    // Re-run a short decode with plans lowered onto real threads. The pacing
+    // scale targets ~0.4s of wall clock per framework but never drops below
+    // the host calibration floor (modeled task durations must dominate real
+    // kernel times and sleep overshoot for the comparison to mean anything).
+    constexpr std::size_t kExecSteps = 8;
+    const auto hybrimoe_decode =
+        harness.run_decode(runtime::Framework::HybriMoE, kExecSteps);
+    exec::ExecOptions options;
+    options.workers = 4;
+    {
+      exec::HybridExecutor probe(options);  // calibration only
+      options.time_scale = std::max(0.4 / hybrimoe_decode.total_latency,
+                                    probe.calibrate_time_scale(harness.costs()));
+    }
+    // One executor for every framework: engines run sequentially, and the
+    // shared weight store keeps output digests comparable across them.
+    harness.set_execution(exec::ExecutionMode::Threaded,
+                          std::make_shared<exec::HybridExecutor>(options));
+    util::TextTable exec_table(
+        "threaded execution backend — decode, modeled vs measured wall clock");
+    exec_table.set_headers({"framework", "modeled", "measured", "error"});
+    for (const auto framework : runtime::kPaperFrameworks) {
+      const auto decode = harness.run_decode(framework, kExecSteps);
+      const double error =
+          std::abs(decode.measured_latency - decode.total_latency) /
+          decode.total_latency;
+      exec_table.begin_row()
+          .add_cell(runtime::to_string(framework))
+          .add_cell(util::format_seconds(decode.total_latency))
+          .add_cell(util::format_seconds(decode.measured_latency))
+          .add_cell(util::format_double(error * 100.0, 1) + "%");
+    }
+    exec_table.print(std::cout);
+    std::cout << "\n(measured = wall clock / time_scale; run "
+                 "bench_exec_validation for the full A/B with digests)\n";
+  }
 
   std::cout << "\nDone. See bench/ for the full paper reproduction harnesses.\n";
   return 0;

@@ -1,0 +1,70 @@
+#include "exec/copy_engine.hpp"
+
+#include <utility>
+
+#include "exec/pacing.hpp"
+
+namespace hybrimoe::exec {
+
+CopyEngine::CopyEngine() : thread_([this] { copy_loop(); }) {}
+
+CopyEngine::~CopyEngine() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_one();
+  thread_.join();
+}
+
+void CopyEngine::submit(std::function<void()> job) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void CopyEngine::drain() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+std::uint64_t CopyEngine::completed() const {
+  std::lock_guard lock(mutex_);
+  return completed_;
+}
+
+void CopyEngine::rethrow_pending_error() {
+  std::exception_ptr error;
+  {
+    std::lock_guard lock(mutex_);
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void CopyEngine::copy_loop() {
+  reduce_timer_slack();
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop requested and fully drained
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    busy_ = true;
+    lock.unlock();
+    try {
+      job();
+    } catch (...) {
+      std::lock_guard error_lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    lock.lock();
+    busy_ = false;
+    ++completed_;
+    if (queue_.empty()) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace hybrimoe::exec

@@ -1,0 +1,348 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+#include <condition_variable>
+
+#include "exec/pacing.hpp"
+#include "hw/calibration.hpp"
+#include "util/assert.hpp"
+
+namespace hybrimoe::exec {
+
+void ExecOptions::validate() const {
+  HYBRIMOE_REQUIRE(workers > 0, "executor needs at least one CPU worker");
+  HYBRIMOE_REQUIRE(time_scale > 0.0 && std::isfinite(time_scale),
+                   "time_scale must be positive and finite");
+  HYBRIMOE_REQUIRE(d_model > 0 && d_ff > 0, "functional dimensions must be positive");
+}
+
+std::uint64_t hash_bytes(std::uint64_t seed, const void* data, std::size_t size) noexcept {
+  constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    seed ^= bytes[i];
+    seed *= kFnvPrime;
+  }
+  return seed;
+}
+
+std::uint64_t hash_u64(std::uint64_t seed, std::uint64_t value) noexcept {
+  return hash_bytes(seed, &value, sizeof(value));
+}
+
+/// Per-layer completion board shared (by shared_ptr) with every task the
+/// layer spawns, so worker/copy-thread closures never reference the engine
+/// thread's stack. `done[i]` publishes completion of plan task i's async
+/// prerequisite (transfer or CPU compute); the single mutex/cv pair is
+/// uncontended at the backend's millisecond pacing granularity.
+struct HybridExecutor::LayerBoard {
+  struct CpuTask {
+    std::size_t idx = 0;        ///< plan task index
+    moe::ExpertId id;
+    PaceClock::duration dur{};  ///< scaled modeled compute duration
+  };
+
+  std::mutex m;
+  std::condition_variable cv;
+  std::vector<char> done;                 ///< per plan-task completion flag
+  std::size_t cpu_remaining = 0;
+  std::vector<CpuTask> cpu;               ///< CPU lane, plan start order
+  std::span<const float> input;           ///< layer input (stable in the store)
+  std::vector<std::vector<float>> slots;  ///< per plan-task expert outputs
+  bool compute = true;
+};
+
+HybridExecutor::HybridExecutor(ExecOptions options)
+    : options_(options), store_(options.d_model, options.d_ff, options.weight_seed) {
+  options_.validate();
+}
+
+HybridExecutor::~HybridExecutor() = default;
+
+void HybridExecutor::ensure_started() {
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(options_.workers);
+  if (!copier_) copier_ = std::make_unique<CopyEngine>();
+}
+
+void HybridExecutor::begin_step() {
+  HYBRIMOE_REQUIRE(!in_step_, "begin_step while a step is already open");
+  step_ = StepResult{};
+  in_step_ = true;
+}
+
+StepResult HybridExecutor::end_step() {
+  HYBRIMOE_REQUIRE(in_step_, "end_step without begin_step");
+  in_step_ = false;
+  // Stragglers (prefetch/maintenance copies) drain outside the measurement,
+  // mirroring the simulator's per-step PCIe carry reset.
+  if (copier_) {
+    copier_->drain();
+    copier_->rethrow_pending_error();
+  }
+  if (pool_) pool_->rethrow_pending_error();
+  return step_;
+}
+
+void HybridExecutor::abort_step() noexcept {
+  if (!in_step_) return;
+  in_step_ = false;
+  // Quiesce: every dispatched task publishes its completion even on error
+  // (see run_cpu_chain / the transfer jobs), so these waits terminate.
+  try {
+    if (pool_) pool_->wait_idle();
+    if (copier_) copier_->drain();
+  } catch (...) {  // wait/drain do not throw in practice; stay noexcept
+  }
+  // Discard pending task errors — the abort cause is already propagating.
+  try {
+    if (pool_) pool_->rethrow_pending_error();
+  } catch (...) {
+  }
+  try {
+    if (copier_) copier_->rethrow_pending_error();
+  } catch (...) {
+  }
+  step_ = StepResult{};
+}
+
+void HybridExecutor::pace_dense(double modeled_seconds) {
+  HYBRIMOE_REQUIRE(in_step_, "pace_dense outside a step");
+  HYBRIMOE_REQUIRE(modeled_seconds >= 0.0, "dense duration must be non-negative");
+  if (!slack_reduced_) {
+    reduce_timer_slack();
+    slack_reduced_ = true;
+  }
+  const auto t0 = PaceClock::now();
+  sleep_until_paced(t0 + scaled_duration(modeled_seconds, options_.time_scale));
+  step_.measured += std::chrono::duration<double>(PaceClock::now() - t0).count() /
+                    options_.time_scale;
+}
+
+void HybridExecutor::copy_blob(moe::ExpertId id) {
+  const kernels::ExpertWeights& w = store_.weights(id);
+  if (copy_scratch_.size() < w.blob_floats()) copy_scratch_.resize(w.blob_floats());
+  (void)w.copy_blob_to(copy_scratch_);
+}
+
+void HybridExecutor::run_cpu_chain(const std::shared_ptr<LayerBoard>& board,
+                                   std::size_t pos) {
+  const LayerBoard::CpuTask& task = board->cpu[pos];
+  const auto t0 = PaceClock::now();
+  // Completion must be published even if the kernel throws — the engine
+  // thread is (or will be) blocked on cpu_remaining, and the error is
+  // surfaced via ThreadPool::rethrow_pending_error at the layer barrier.
+  std::exception_ptr error;
+  if (board->compute) {
+    try {
+      board->slots[task.idx] =
+          kernels::expert_forward(store_.weights(task.id), board->input);
+    } catch (...) {
+      error = std::current_exception();
+    }
+  }
+  sleep_until_paced(t0 + task.dur);
+  {
+    std::lock_guard lock(board->m);
+    board->done[task.idx] = 1;
+    --board->cpu_remaining;
+    board->cv.notify_all();
+  }
+  if (pos + 1 < board->cpu.size())
+    pool_->submit([this, board, next = pos + 1] { run_cpu_chain(board, next); });
+  if (error) std::rethrow_exception(error);  // recorded by the worker loop
+}
+
+std::vector<float> HybridExecutor::combine_and_digest(
+    const sched::LayerPlan& plan, std::vector<std::vector<float>>& slots) {
+  const auto& tasks = plan.tasks;
+  // Fixed reduction order — ascending expert index, which is unique within a
+  // layer — makes the float accumulation identical regardless of device
+  // assignment, completion order, or worker count.
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&tasks](std::size_t a, std::size_t b) {
+    return tasks[a].expert.expert < tasks[b].expert.expert;
+  });
+  double total_load = 0.0;
+  for (const auto& t : tasks) total_load += static_cast<double>(t.load);
+
+  std::vector<float> out(options_.d_model, 0.0f);
+  for (const std::size_t i : order) {
+    HYBRIMOE_ASSERT(slots[i].size() == out.size(), "expert output slot missing");
+    const auto coeff = static_cast<float>(static_cast<double>(tasks[i].load) / total_load);
+    for (std::size_t d = 0; d < out.size(); ++d) out[d] += coeff * slots[i][d];
+  }
+  step_.digest = hash_u64(step_.digest, plan.layer);
+  step_.digest = hash_bytes(step_.digest, out.data(), out.size() * sizeof(float));
+  return out;
+}
+
+LayerResult HybridExecutor::execute_layer_reference(const sched::LayerPlan& plan) {
+  HYBRIMOE_REQUIRE(in_step_, "execute_layer_reference outside a step");
+  HYBRIMOE_REQUIRE(!plan.tasks.empty(), "cannot execute an empty plan");
+  LayerResult result;
+  ++step_.layers;
+  if (!options_.compute_experts) return result;
+  const auto input = store_.layer_input(plan.layer);
+  std::vector<std::vector<float>> slots(plan.tasks.size());
+  for (std::size_t i = 0; i < plan.tasks.size(); ++i)
+    slots[i] = kernels::expert_forward(store_.weights(plan.tasks[i].expert), input);
+  result.output = combine_and_digest(plan, slots);
+  return result;
+}
+
+LayerResult HybridExecutor::execute_layer(const sched::LayerPlan& plan, double overhead,
+                                          std::span<const moe::ExpertId> async_copies,
+                                          double async_copy_seconds) {
+  HYBRIMOE_REQUIRE(in_step_, "execute_layer outside a step");
+  HYBRIMOE_REQUIRE(!plan.tasks.empty(), "cannot execute an empty plan");
+  HYBRIMOE_REQUIRE(overhead >= 0.0, "layer overhead must be non-negative");
+  HYBRIMOE_REQUIRE(async_copy_seconds >= 0.0, "copy duration must be non-negative");
+  ensure_started();
+  if (!slack_reduced_) {
+    reduce_timer_slack();
+    slack_reduced_ = true;
+  }
+
+  const double scale = options_.time_scale;
+  const auto& tasks = plan.tasks;
+
+  // Materialize weights on the engine thread up front: workers then hit the
+  // store's shared-lock fast path only.
+  if (options_.compute_experts)
+    for (const auto& t : tasks) (void)store_.weights(t.expert);
+
+  auto board = std::make_shared<LayerBoard>();
+  board->done.assign(tasks.size(), 0);
+  board->slots.resize(tasks.size());
+  board->input = store_.layer_input(plan.layer);
+  board->compute = options_.compute_experts;
+  for (const std::size_t i : plan.device_order(sched::ComputeDevice::Cpu))
+    board->cpu.push_back({i, tasks[i].expert,
+                          scaled_duration(tasks[i].end - tasks[i].start, scale)});
+  board->cpu_remaining = board->cpu.size();
+  const auto gpu_order = plan.device_order(sched::ComputeDevice::Gpu);
+
+  const auto layer_start = PaceClock::now();
+
+  // ---- Framework dispatch overhead serializes before the layer: the plan's
+  // t = 0 is where the engine's per-layer latency charge ends, so nothing —
+  // not even a transfer — may be issued earlier (the very term §V moves into
+  // C++ kernels to shrink).
+  sleep_until_paced(layer_start + scaled_duration(overhead, scale));
+
+  // ---- PCIe lane: on-demand transfers in plan order, then the engine's
+  // speculative uploads. FIFO on the copy thread reproduces the modeled
+  // serially-occupied link, including carry into later layers.
+  for (const std::size_t i : plan.transfer_order()) {
+    const auto dur =
+        scaled_duration(tasks[i].transfer_end - tasks[i].transfer_start, scale);
+    copier_->submit([this, board, idx = i, id = tasks[i].expert, dur] {
+      const auto t0 = PaceClock::now();
+      // Publish completion even if the copy throws — the GPU lane blocks on
+      // done[idx]; the error surfaces via rethrow_pending_error at step end.
+      std::exception_ptr error;
+      if (options_.copy_weight_blobs) {
+        try {
+          copy_blob(id);
+        } catch (...) {
+          error = std::current_exception();
+        }
+      }
+      sleep_until_paced(t0 + dur);
+      {
+        std::lock_guard lock(board->m);
+        board->done[idx] = 1;
+        board->cv.notify_all();
+      }
+      if (error) std::rethrow_exception(error);  // recorded by the copy loop
+    });
+  }
+  for (const moe::ExpertId id : async_copies) {
+    const auto dur = scaled_duration(async_copy_seconds, scale);
+    copier_->submit([this, id, dur] {
+      const auto t0 = PaceClock::now();
+      if (options_.copy_weight_blobs) copy_blob(id);
+      sleep_until_paced(t0 + dur);
+    });
+  }
+
+  // ---- CPU lane: chained through the worker pool in plan start order (the
+  // modeled CPU expert pool is one serially-occupied resource; the chain
+  // hops across workers via round-robin dispatch and stealing).
+  if (!board->cpu.empty())
+    pool_->submit([this, board] { run_cpu_chain(board, 0); });
+
+  // ---- GPU lane (this thread): dense head, then routed GPU experts in plan
+  // order, each gated on its transfer completion.
+  {
+    const auto t0 = PaceClock::now();
+    sleep_until_paced(t0 + scaled_duration(plan.gpu_offset, scale));
+  }
+  for (const std::size_t i : gpu_order) {
+    if (tasks[i].transferred) {
+      std::unique_lock lock(board->m);
+      board->cv.wait(lock, [&board, i] { return board->done[i] != 0; });
+    }
+    const auto t0 = PaceClock::now();
+    if (options_.compute_experts)
+      board->slots[i] = kernels::expert_forward(store_.weights(tasks[i].expert),
+                                                board->input);
+    sleep_until_paced(t0 + scaled_duration(tasks[i].end - tasks[i].start, scale));
+  }
+
+  // ---- Barrier: the layer is done when every compute task has finished
+  // (every plan transfer completed earlier — its GPU dependent waited on it).
+  {
+    std::unique_lock lock(board->m);
+    board->cv.wait(lock, [&board] { return board->cpu_remaining == 0; });
+  }
+  pool_->rethrow_pending_error();
+
+  LayerResult result;
+  result.measured =
+      std::chrono::duration<double>(PaceClock::now() - layer_start).count() / scale;
+  step_.measured += result.measured;
+  ++step_.layers;
+  if (options_.compute_experts) result.output = combine_and_digest(plan, board->slots);
+  return result;
+}
+
+double HybridExecutor::calibrate_time_scale(const hw::CostModel& costs, double safety) {
+  HYBRIMOE_REQUIRE(!in_step_, "calibrate_time_scale inside a step");
+  HYBRIMOE_REQUIRE(safety >= 1.0, "safety factor must be >= 1");
+  if (copier_) copier_->drain();  // scratch is about to be touched from here
+
+  const moe::ExpertId probe{0, 0};
+  const auto& weights = store_.weights(probe);
+  const auto input = store_.layer_input(0);
+  double real = 0.0;
+  if (options_.compute_experts)
+    real = std::max(real, hw::time_callable([&] {
+      (void)kernels::expert_forward(weights, input);
+    }));
+  if (options_.copy_weight_blobs)
+    real = std::max(real, hw::time_callable([&] { copy_blob(probe); }));
+  // Sleep overshoot: how late a paced task typically wakes.
+  static constexpr auto kProbeSleep = std::chrono::microseconds(200);
+  reduce_timer_slack();
+  const double overshoot =
+      hw::time_callable([] { std::this_thread::sleep_for(kProbeSleep); }) -
+      std::chrono::duration<double>(kProbeSleep).count();
+  real = std::max({real, overshoot, 1e-6});
+
+  const double d_min = std::min({costs.gpu_expert_time(1),
+                                 costs.cpu_expert_time(1, /*warm=*/true),
+                                 costs.transfer_time()});
+  HYBRIMOE_ASSERT(d_min > 0.0, "cost model yields non-positive task durations");
+  return safety * real / d_min;
+}
+
+}  // namespace hybrimoe::exec

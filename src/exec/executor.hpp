@@ -1,0 +1,194 @@
+#pragma once
+
+/// \file executor.hpp
+/// The real threaded execution backend: takes the same sched::LayerPlan the
+/// discrete-event simulator consumes and actually dispatches it — CPU expert
+/// tasks to a work-stealing ThreadPool, transfers to the asynchronous
+/// CopyEngine thread, and GPU-lane work (dense phase + routed GPU experts)
+/// to the calling engine thread — honoring the plan's dependencies: an
+/// uncached GPU expert cannot start before its transfer completes, and each
+/// resource lane is serially occupied in plan order.
+///
+/// Every expert task runs a real kernels::expert_forward at the store's
+/// functional dimensions, then paces itself to the scaled modeled duration
+/// (calibrated sleep), so wall-clock measurements validate the *concurrency
+/// structure* the scheduler claims — whether CPU compute, GPU compute and
+/// PCIe transfers genuinely overlap in real time (paper §V moves task
+/// allocation into C++ for exactly this) — while remaining robust on small
+/// CI hosts. Layer outputs are reduced in a fixed deterministic order, so
+/// threaded execution is bitwise-identical to the single-threaded reference
+/// at any worker count.
+///
+/// Thread-safety: one executor drives one engine thread at a time —
+/// begin_step / execute_layer / pace_dense / end_step must be called from a
+/// single thread (the OffloadEngine step loop), and that thread doubles as
+/// the GPU lane. Internally the executor owns the worker pool and the copy
+/// thread; the ExpertStore is internally synchronized. Sharing one executor
+/// across engines is fine as long as their steps do not interleave.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "exec/copy_engine.hpp"
+#include "exec/expert_store.hpp"
+#include "exec/thread_pool.hpp"
+#include "hw/cost_model.hpp"
+#include "sched/plan.hpp"
+
+namespace hybrimoe::exec {
+
+/// Which backend an OffloadEngine runs its plans through.
+enum class ExecutionMode : std::uint8_t {
+  Simulated,  ///< discrete-event only: plans are charged, never executed
+  Threaded,   ///< plans are lowered to real tasks on real threads
+};
+
+/// Printable name of an execution mode.
+[[nodiscard]] constexpr const char* to_string(ExecutionMode m) noexcept {
+  return m == ExecutionMode::Simulated ? "simulated" : "threaded";
+}
+
+/// Tuning knobs of the threaded backend.
+struct ExecOptions {
+  /// CPU worker threads in the expert pool (>= 1).
+  std::size_t workers = 4;
+  /// Wall-clock seconds per modeled second. Pick via calibrate_time_scale
+  /// (or a wall-time target) so that paced durations dominate real kernel
+  /// times and sleep overshoot; 1.0 means real time == modeled time.
+  double time_scale = 1.0;
+  /// Run real expert FFN kernels and produce layer outputs/digests. When
+  /// false the backend paces timing only.
+  bool compute_experts = true;
+  /// memcpy the expert's weight blob into the device staging buffer on every
+  /// transfer (real PCIe traffic stand-in). Pacing applies either way.
+  bool copy_weight_blobs = true;
+  /// Functional expert geometry (decoupled from the cost model's Table II
+  /// shapes: scheduling charges the paper's sizes, kernels run small).
+  std::size_t d_model = 32;
+  std::size_t d_ff = 64;
+  /// Seed for the deterministic weight/input store.
+  std::uint64_t weight_seed = 0x5EED'0E8Aul;
+
+  /// Throws std::invalid_argument on structurally invalid options.
+  void validate() const;
+};
+
+/// FNV-1a offset basis — the seed of an empty digest chain.
+inline constexpr std::uint64_t kDigestSeed = 0xCBF29CE484222325ULL;
+
+/// Extend an FNV-1a digest chain over `size` raw bytes.
+[[nodiscard]] std::uint64_t hash_bytes(std::uint64_t seed, const void* data,
+                                       std::size_t size) noexcept;
+
+/// Extend an FNV-1a digest chain with one 64-bit value.
+[[nodiscard]] std::uint64_t hash_u64(std::uint64_t seed, std::uint64_t value) noexcept;
+
+/// Outcome of executing one layer plan.
+struct LayerResult {
+  /// Wall-clock layer window re-expressed in modeled seconds (wall /
+  /// time_scale); 0 for the single-threaded reference path.
+  double measured = 0.0;
+  /// Combined routed-expert output of the layer (empty when
+  /// compute_experts is off). Bitwise-deterministic across backends,
+  /// worker counts and device assignments.
+  std::vector<float> output;
+};
+
+/// Outcome of one engine step (one forward pass) on the backend.
+struct StepResult {
+  double measured = 0.0;           ///< sum of layer windows, modeled seconds
+  std::uint64_t digest = kDigestSeed;  ///< chained FNV-1a over layer outputs
+  std::size_t layers = 0;          ///< layers executed this step
+};
+
+/// Threaded (and reference) executor for scheduler layer plans.
+class HybridExecutor {
+ public:
+  /// Threads are started lazily on the first threaded layer, so an executor
+  /// used only for the reference path never spawns any.
+  explicit HybridExecutor(ExecOptions options = {});
+  /// Drains the copy engine and joins all backend threads.
+  ~HybridExecutor();
+
+  HybridExecutor(const HybridExecutor&) = delete;
+  HybridExecutor& operator=(const HybridExecutor&) = delete;
+
+  /// The options this executor was built with (immutable).
+  [[nodiscard]] const ExecOptions& options() const noexcept { return options_; }
+  /// The deterministic weight/input store (internally synchronized).
+  [[nodiscard]] ExpertStore& store() noexcept { return store_; }
+
+  /// Start a step: resets the step accumulator. Engine thread only; steps
+  /// must not nest.
+  void begin_step();
+
+  /// Execute one layer plan for real: dispatches transfers to the copy
+  /// thread (in transfer_order, followed by `async_copies` — the engine's
+  /// prefetch/maintenance uploads at `async_copy_seconds` modeled seconds
+  /// each, which are *not* waited on and spill into subsequent layers
+  /// exactly like the modeled PCIe carry), chains CPU tasks through the
+  /// worker pool, runs the dense head (`overhead` + plan.gpu_offset) and the
+  /// GPU tasks on the calling thread, and returns once every compute task of
+  /// the plan has finished. Engine thread only, inside a step; plan.tasks
+  /// must be non-empty.
+  [[nodiscard]] LayerResult execute_layer(const sched::LayerPlan& plan, double overhead,
+                                          std::span<const moe::ExpertId> async_copies,
+                                          double async_copy_seconds = 0.0);
+
+  /// Single-threaded reference execution: computes the same outputs/digest
+  /// as execute_layer with no threads and no pacing (measured == 0). The
+  /// bitwise ground truth the threaded backend is validated against.
+  [[nodiscard]] LayerResult execute_layer_reference(const sched::LayerPlan& plan);
+
+  /// Pace a layer with no routed experts (dense phase only) on the GPU
+  /// lane. Engine thread only, inside a step.
+  void pace_dense(double modeled_seconds);
+
+  /// Finish the step: waits for stragglers on the copy engine (their drain
+  /// time is *not* part of the measurement — the simulator resets PCIe
+  /// carry between steps the same way), rethrows any worker/copy-thread
+  /// error, and returns the step's accumulated measurement/digest.
+  [[nodiscard]] StepResult end_step();
+
+  /// Abandon an open step after a failure: quiesces the backend (waits for
+  /// in-flight tasks, drains copies, discards pending errors and the step
+  /// accumulator) so a shared executor is usable for a fresh begin_step
+  /// instead of staying wedged. No-op when no step is open. Engine thread
+  /// only — the engine's step loop invokes this from its unwind path.
+  void abort_step() noexcept;
+
+  /// Measure this host's real kernel/copy/sleep-wakeup times (via
+  /// hw::time_callable) and return the smallest time_scale at which the
+  /// fastest modeled task of `costs` still comfortably covers them
+  /// (`safety` x). Feed the result (or any larger scale, e.g. one chosen
+  /// for a wall-time budget) into ExecOptions::time_scale.
+  [[nodiscard]] double calibrate_time_scale(const hw::CostModel& costs,
+                                            double safety = 8.0);
+
+ private:
+  struct LayerBoard;
+  /// Lazily spawn the worker pool and copy thread.
+  void ensure_started();
+  /// Run CPU-lane task `pos` of the board, then chain-submit `pos` + 1.
+  void run_cpu_chain(const std::shared_ptr<LayerBoard>& board, std::size_t pos);
+  /// memcpy one expert's weight blob into the staging buffer (copy thread).
+  void copy_blob(moe::ExpertId id);
+  /// Deterministic load-weighted reduction of per-task outputs, then digest.
+  [[nodiscard]] std::vector<float> combine_and_digest(
+      const sched::LayerPlan& plan, std::vector<std::vector<float>>& slots);
+
+  ExecOptions options_;
+  ExpertStore store_;
+  std::vector<float> copy_scratch_;  ///< device staging buffer; copy thread only
+  // Declaration order is load-bearing: the copy thread and worker pool are
+  // destroyed (joined) before the store/scratch their tasks reference.
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<CopyEngine> copier_;
+  StepResult step_;
+  bool in_step_ = false;
+  bool slack_reduced_ = false;  ///< engine-thread timer slack tightened
+};
+
+}  // namespace hybrimoe::exec

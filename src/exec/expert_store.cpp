@@ -1,0 +1,58 @@
+#include "exec/expert_store.hpp"
+
+#include <mutex>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace hybrimoe::exec {
+
+namespace {
+
+/// Domain-separation salts so weights and inputs draw from disjoint streams.
+constexpr std::uint64_t kWeightSalt = 0x57E1'6877'B10B'5EEDULL;
+constexpr std::uint64_t kInputSalt = 0x1A7E'17F0'0D5A'17EDULL;
+
+}  // namespace
+
+ExpertStore::ExpertStore(std::size_t d_model, std::size_t d_ff, std::uint64_t seed)
+    : d_model_(d_model), d_ff_(d_ff), seed_(seed) {
+  HYBRIMOE_REQUIRE(d_model > 0 && d_ff > 0, "expert store dimensions must be positive");
+}
+
+const kernels::ExpertWeights& ExpertStore::weights(moe::ExpertId id) {
+  const std::uint32_t key = id.encode();
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = experts_.find(key);
+    if (it != experts_.end()) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  const auto it = experts_.find(key);  // re-check: another thread may have won
+  if (it != experts_.end()) return it->second;
+  util::Rng rng(seed_ ^ kWeightSalt ^ (static_cast<std::uint64_t>(key) << 16));
+  return experts_.emplace(key, kernels::ExpertWeights::random(rng, d_model_, d_ff_))
+      .first->second;
+}
+
+std::span<const float> ExpertStore::layer_input(std::uint16_t layer) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = inputs_.find(layer);
+    if (it != inputs_.end()) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  const auto it = inputs_.find(layer);
+  if (it != inputs_.end()) return it->second;
+  util::Rng rng(seed_ ^ kInputSalt ^ (static_cast<std::uint64_t>(layer) + 1));
+  std::vector<float> x(d_model_);
+  for (auto& v : x) v = static_cast<float>(rng.gaussian());
+  return inputs_.emplace(layer, std::move(x)).first->second;
+}
+
+std::size_t ExpertStore::materialized() const {
+  std::shared_lock lock(mutex_);
+  return experts_.size();
+}
+
+}  // namespace hybrimoe::exec

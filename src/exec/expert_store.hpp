@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file expert_store.hpp
+/// Deterministic functional weights for the execution backend. Every
+/// moe::ExpertId maps to a SwiGLU expert whose weights are generated from
+/// (store seed, expert id) alone — independent of creation order, worker
+/// count, and scheduling policy — so two stores with equal options hold
+/// bitwise-identical weights and any execution order reproduces the same
+/// layer outputs. The functional geometry (d_model/d_ff) is intentionally
+/// decoupled from the cost model's: scheduling charges the paper's Table II
+/// shapes while kernels run at small dimensions that finish in microseconds.
+///
+/// Thread-safety: fully internally synchronized (shared_mutex). Lookups
+/// take a shared lock; first touch of an expert materializes it under the
+/// exclusive lock. Returned references/spans stay valid and immutable for
+/// the store's lifetime (node-based map, weights never mutated after
+/// creation), so workers may read them lock-free after the accessor returns.
+
+#include <cstdint>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "kernels/expert.hpp"
+#include "moe/expert_id.hpp"
+
+namespace hybrimoe::exec {
+
+/// Lazily-materialized (expert id -> weights) map plus per-layer inputs.
+class ExpertStore {
+ public:
+  /// `d_model`/`d_ff`: functional expert geometry (both > 0); `seed` drives
+  /// every weight and input value.
+  ExpertStore(std::size_t d_model, std::size_t d_ff, std::uint64_t seed);
+
+  /// \brief Functional d_model of every stored expert.
+  [[nodiscard]] std::size_t d_model() const noexcept { return d_model_; }
+  /// \brief Functional d_ff of every stored expert.
+  [[nodiscard]] std::size_t d_ff() const noexcept { return d_ff_; }
+  /// fp32 bytes of one expert's three projection matrices (the blob the
+  /// copy engine moves per transfer).
+  [[nodiscard]] std::size_t expert_bytes() const noexcept {
+    return 3 * d_model_ * d_ff_ * sizeof(float);
+  }
+
+  /// Weights of `id`, materializing them on first touch. Thread-safe; the
+  /// returned reference is stable and immutable.
+  [[nodiscard]] const kernels::ExpertWeights& weights(moe::ExpertId id);
+
+  /// Deterministic activation vector fed to every expert of `layer`
+  /// (size d_model). Thread-safe; the returned span is stable and immutable.
+  [[nodiscard]] std::span<const float> layer_input(std::uint16_t layer);
+
+  /// Experts materialized so far (telemetry for memory accounting).
+  [[nodiscard]] std::size_t materialized() const;
+
+ private:
+  std::size_t d_model_;
+  std::size_t d_ff_;
+  std::uint64_t seed_;
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::uint32_t, kernels::ExpertWeights> experts_;
+  std::unordered_map<std::uint16_t, std::vector<float>> inputs_;
+};
+
+}  // namespace hybrimoe::exec

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file pacing.hpp
+/// Wall-clock pacing primitives shared by the execution backend threads.
+///
+/// The threaded backend runs real kernels whose wall time at the small
+/// functional dimensions is far below the modeled durations of the paper's
+/// testbed, so every task *paces* itself: it does its real work, then sleeps
+/// until the scaled modeled duration has elapsed. These helpers keep that
+/// pacing accurate enough for modeled-vs-measured validation (default Linux
+/// timer slack alone is 50us per sleep, which accumulates along task chains).
+
+#include <chrono>
+
+namespace hybrimoe::exec {
+
+/// Monotonic clock used for all pacing and measurement in the backend.
+using PaceClock = std::chrono::steady_clock;
+
+/// Ask the kernel for tight sleep wake-ups on the calling thread (Linux:
+/// prctl(PR_SET_TIMERSLACK, 1us); a no-op elsewhere). Called once per backend
+/// thread; idempotent and thread-safe (affects only the calling thread).
+void reduce_timer_slack() noexcept;
+
+/// Sleep until `deadline` (no-op when it already passed). Durations under a
+/// few microseconds are not worth a syscall and return immediately.
+void sleep_until_paced(PaceClock::time_point deadline) noexcept;
+
+/// Convert a modeled duration (seconds in cost-model time) into a wall-clock
+/// duration at `time_scale` wall seconds per modeled second.
+[[nodiscard]] inline PaceClock::duration scaled_duration(double modeled_seconds,
+                                                         double time_scale) noexcept {
+  return std::chrono::duration_cast<PaceClock::duration>(
+      std::chrono::duration<double>(modeled_seconds * time_scale));
+}
+
+}  // namespace hybrimoe::exec

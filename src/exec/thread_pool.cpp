@@ -1,0 +1,121 @@
+#include "exec/thread_pool.hpp"
+
+#include <utility>
+
+#include "exec/pacing.hpp"
+#include "util/assert.hpp"
+
+namespace hybrimoe::exec {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  HYBRIMOE_REQUIRE(workers > 0, "thread pool needs at least one worker");
+  queues_.resize(workers);
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target;
+  {
+    std::lock_guard lock(mutex_);
+    target = static_cast<std::size_t>(next_queue_++ % queues_.size());
+    queues_[target].push_back(std::move(task));
+    ++queued_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::submit_to(std::size_t worker, std::function<void()> task) {
+  HYBRIMOE_REQUIRE(worker < queues_.size(), "submit_to worker index out of range");
+  {
+    std::lock_guard lock(mutex_);
+    queues_[worker].push_back(std::move(task));
+    ++queued_;
+  }
+  work_cv_.notify_all();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queued_ == 0 && running_ == 0; });
+}
+
+std::uint64_t ThreadPool::tasks_executed() const {
+  std::lock_guard lock(mutex_);
+  return executed_;
+}
+
+std::uint64_t ThreadPool::tasks_stolen() const {
+  std::lock_guard lock(mutex_);
+  return stolen_;
+}
+
+void ThreadPool::rethrow_pending_error() {
+  std::exception_ptr error;
+  {
+    std::lock_guard lock(mutex_);
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+bool ThreadPool::pop_task(std::size_t index, std::function<void()>& out) {
+  if (!queues_[index].empty()) {
+    out = std::move(queues_[index].front());
+    queues_[index].pop_front();
+    --queued_;
+    return true;
+  }
+  // Steal from the back of the longest other queue.
+  std::size_t victim = index;
+  std::size_t victim_size = 0;
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    if (i != index && queues_[i].size() > victim_size) {
+      victim = i;
+      victim_size = queues_[i].size();
+    }
+  }
+  if (victim_size == 0) return false;
+  out = std::move(queues_[victim].back());
+  queues_[victim].pop_back();
+  --queued_;
+  ++stolen_;
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  reduce_timer_slack();
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    std::function<void()> task;
+    if (!pop_task(index, task)) {
+      if (stop_) return;  // drained: stop only once every queue is empty
+      continue;
+    }
+    ++running_;
+    lock.unlock();
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard error_lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    lock.lock();
+    --running_;
+    ++executed_;
+    if (queued_ == 0 && running_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace hybrimoe::exec

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Fixed-size worker pool with per-worker task queues and work stealing —
+/// the CPU expert lane of the threaded execution backend (the stand-in for
+/// the paper's 10-core CPU expert pool, §V's in-kernel task allocation).
+///
+/// Thread-safety: submit/submit_to may be called from any thread, including
+/// from inside a running task (the executor chains CPU-lane tasks this way).
+/// Each worker pops from the front of its own deque and steals from the back
+/// of the longest other queue when its own is empty. The destructor drains
+/// every queued task before joining, so a joined pool has executed
+/// everything submitted to it.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+namespace hybrimoe::exec {
+
+/// Fixed-size work-stealing worker pool.
+class ThreadPool {
+ public:
+  /// Spawn `workers` (>= 1) worker threads, each owning one task deque.
+  explicit ThreadPool(std::size_t workers);
+  /// Drains all queued tasks, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task on the next queue in round-robin order. Thread-safe.
+  void submit(std::function<void()> task);
+  /// Enqueue a task on a specific worker's queue (affinity submission; other
+  /// workers may still steal it). Thread-safe.
+  void submit_to(std::size_t worker, std::function<void()> task);
+
+  /// Block until every submitted task has finished. Thread-safe, but must
+  /// not be called from inside a task (it would wait on itself).
+  void wait_idle();
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return threads_.size(); }
+  /// Total tasks completed so far (monotonic; racy-read accurate at idle).
+  [[nodiscard]] std::uint64_t tasks_executed() const;
+  /// Tasks a worker took from another worker's queue (work stealing).
+  [[nodiscard]] std::uint64_t tasks_stolen() const;
+
+  /// Rethrow the first exception that escaped a task, if any (the worker
+  /// swallowed it to keep the pool alive). Clears the stored exception.
+  void rethrow_pending_error();
+
+ private:
+  void worker_loop(std::size_t index);
+  /// Pop from own front, else steal from the back of the longest other
+  /// queue. Caller holds mutex_. Returns false when all queues are empty.
+  bool pop_task(std::size_t index, std::function<void()>& out);
+
+  // One deque per worker; a single mutex guards all of them (the pool paces
+  // millisecond-scale tasks, so queue ops are never contended enough to need
+  // finer locking — the per-queue structure is what preserves locality and
+  // steal order).
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::vector<std::thread> threads_;
+  std::size_t queued_ = 0;   ///< tasks sitting in queues
+  std::size_t running_ = 0;  ///< tasks currently executing
+  std::uint64_t executed_ = 0;
+  std::uint64_t stolen_ = 0;
+  std::uint64_t next_queue_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace hybrimoe::exec

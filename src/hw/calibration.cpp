@@ -1,6 +1,7 @@
 #include "hw/calibration.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "util/assert.hpp"
@@ -172,6 +173,36 @@ WarmupMeasurements simulate_measurements(const CostModel& ground_truth, util::Rn
     }
   }
   return m;
+}
+
+double time_callable(const std::function<void()>& fn, std::size_t repetitions) {
+  HYBRIMOE_REQUIRE(static_cast<bool>(fn), "time_callable requires a callable");
+  HYBRIMOE_REQUIRE(repetitions > 0, "repetitions must be positive");
+  using Clock = std::chrono::steady_clock;
+  fn();  // warmup: first call pays cold caches / lazy allocation
+  std::vector<double> samples;
+  samples.reserve(repetitions);
+  for (std::size_t i = 0; i < repetitions; ++i) {
+    const auto t0 = Clock::now();
+    fn();
+    samples.push_back(std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2, samples.end());
+  return samples[samples.size() / 2];
+}
+
+std::vector<ComputeSample> measure_compute_samples(
+    const std::function<void(std::size_t)>& kernel,
+    std::span<const std::size_t> token_loads, std::size_t repetitions) {
+  HYBRIMOE_REQUIRE(static_cast<bool>(kernel), "measure_compute_samples requires a kernel");
+  std::vector<ComputeSample> samples;
+  samples.reserve(token_loads.size());
+  for (const std::size_t tokens : token_loads) {
+    HYBRIMOE_REQUIRE(tokens > 0, "token loads must be positive");
+    samples.push_back(
+        {tokens, time_callable([&kernel, tokens] { kernel(tokens); }, repetitions)});
+  }
+  return samples;
 }
 
 }  // namespace hybrimoe::hw

@@ -8,6 +8,7 @@
 /// fitting code reconstructs a MachineProfile from raw samples exactly as the
 /// real system would from wall-clock timings.
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -60,5 +61,26 @@ struct WarmupMeasurements {
                                                        util::Rng& rng,
                                                        std::size_t repetitions = 8,
                                                        double noise = 0.03);
+
+// ---- Real wall-clock hooks (threaded execution backend) -------------------
+//
+// The threaded backend in src/exec runs actual kernels and paces them to the
+// cost model; these hooks are the measurement side of that bridge — they time
+// caller-provided callables on the host with a monotonic clock, exactly the
+// warmup measurements the paper's §IV-A takes on the real testbed.
+
+/// Median wall-clock seconds of one call to `fn` over `repetitions` timed
+/// runs (one untimed warmup call first; median rejects scheduler outliers).
+/// `fn` must be callable repeatedly with no externally visible side effects.
+[[nodiscard]] double time_callable(const std::function<void()>& fn,
+                                   std::size_t repetitions = 9);
+
+/// Time `kernel(tokens)` across `token_loads`, producing samples that plug
+/// straight into WarmupMeasurements::cpu_warm / gpu_times and thus into
+/// fit_machine_profile — a real-measurement replacement for
+/// simulate_measurements on hosts where the kernels actually run.
+[[nodiscard]] std::vector<ComputeSample> measure_compute_samples(
+    const std::function<void(std::size_t)>& kernel,
+    std::span<const std::size_t> token_loads, std::size_t repetitions = 9);
 
 }  // namespace hybrimoe::hw

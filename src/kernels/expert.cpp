@@ -1,5 +1,7 @@
 #include "kernels/expert.hpp"
 
+#include <cstring>
+
 #include "kernels/ops.hpp"
 
 namespace hybrimoe::kernels {
@@ -10,6 +12,17 @@ ExpertWeights ExpertWeights::random(util::Rng& rng, std::size_t d_model, std::si
   w.up = Tensor::randn(rng, d_ff, d_model);
   w.down = Tensor::randn(rng, d_model, d_ff);
   return w;
+}
+
+std::size_t ExpertWeights::copy_blob_to(std::span<float> dst) const {
+  const std::size_t floats = blob_floats();
+  HYBRIMOE_REQUIRE(dst.size() >= floats, "blob destination too small");
+  float* out = dst.data();
+  for (const Tensor* t : {&gate, &up, &down}) {
+    std::memcpy(out, t->flat().data(), t->size() * sizeof(float));
+    out += t->size();
+  }
+  return floats;
 }
 
 std::vector<float> expert_forward(const ExpertWeights& w, std::span<const float> x) {

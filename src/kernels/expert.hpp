@@ -34,6 +34,17 @@ struct ExpertWeights {
   [[nodiscard]] std::size_t dense_bytes() const noexcept {
     return (gate.size() + up.size() + down.size()) * sizeof(float);
   }
+
+  /// Total float count of the three projections (the transfer blob size).
+  [[nodiscard]] std::size_t blob_floats() const noexcept {
+    return gate.size() + up.size() + down.size();
+  }
+
+  /// Serialize the three projections (gate, up, down — row-major,
+  /// concatenated) into `dst`, which must hold at least blob_floats()
+  /// values. This is the weight blob the execution backend's copy engine
+  /// moves per simulated PCIe transfer. Returns the floats written.
+  std::size_t copy_blob_to(std::span<float> dst) const;
 };
 
 /// Forward pass through a dense expert.

@@ -11,6 +11,9 @@ OffloadEngine::OffloadEngine(EngineComponents components, const hw::CostModel& c
   HYBRIMOE_REQUIRE(components_.scheduler != nullptr, "engine requires a scheduler");
   HYBRIMOE_REQUIRE(components_.cache != nullptr, "engine requires a cache");
   HYBRIMOE_REQUIRE(!components_.name.empty(), "engine requires a name");
+  HYBRIMOE_REQUIRE(components_.execution_mode == exec::ExecutionMode::Simulated ||
+                       components_.executor != nullptr,
+                   "threaded execution requires an executor");
 }
 
 void OffloadEngine::seed_cache(std::span<const moe::ExpertId> experts, bool pinned) {
@@ -34,6 +37,23 @@ double OffloadEngine::run_step(const workload::ForwardTrace& forward,
   auto& cache = *components_.cache;
   const double xfer = costs_.transfer_time();
   double latency = 0.0;
+
+  // Execution backend (optional): Threaded lowers every plan onto real
+  // threads; Simulated-with-executor runs the single-threaded reference so
+  // both modes produce comparable output digests.
+  exec::HybridExecutor* executor = components_.executor.get();
+  const bool threaded =
+      components_.execution_mode == exec::ExecutionMode::Threaded;
+  if (executor != nullptr) executor->begin_step();
+  // Close the step on any exception below: a (possibly shared) executor
+  // left mid-step would make every later begin_step throw, masking the
+  // original error. Disarmed before the normal end_step.
+  struct StepGuard {
+    exec::HybridExecutor* executor;
+    ~StepGuard() {
+      if (executor != nullptr) executor->abort_step();
+    }
+  } step_guard{executor};
   // PCIe work (prefetches) still in flight when a layer ends spills into the
   // next layer's link occupancy — the link is asynchronous across layers.
   double pcie_carry = 0.0;
@@ -61,7 +81,8 @@ double OffloadEngine::run_step(const workload::ForwardTrace& forward,
     const double dense = t_attn + t_shared;
     metrics.attention_time += t_attn;
     metrics.shared_time += t_shared;
-    latency += costs_.layer_overhead() + components_.per_layer_overhead;
+    const double overhead = costs_.layer_overhead() + components_.per_layer_overhead;
+    latency += overhead;
 
     // Score feed (Eq. 3 input) before this layer's lookups, mirroring the
     // real pipeline: the gate runs first, then cache decisions are made.
@@ -87,6 +108,7 @@ double OffloadEngine::run_step(const workload::ForwardTrace& forward,
     if (demands.empty()) {
       latency += dense;
       pcie_carry = std::max(0.0, pcie_carry - dense);
+      if (threaded) executor->pace_dense(overhead + dense);
       continue;
     }
 
@@ -111,6 +133,10 @@ double OffloadEngine::run_step(const workload::ForwardTrace& forward,
     // begins (pcie_carry). Each started transfer occupies the link for one
     // expert-transfer time.
     double pcie_cursor = plan.pcie_end;
+    // Speculative uploads committed this layer (prefetch + maintenance), in
+    // issue order — the execution backend replays them on its copy thread
+    // behind the plan's on-demand transfers.
+    std::vector<moe::ExpertId> async_copies;
 
     // Impact-driven (or baseline) prefetching for upcoming layers.
     if (components_.prefetcher != nullptr && components_.dynamic_cache_inserts) {
@@ -123,6 +149,7 @@ double OffloadEngine::run_step(const workload::ForwardTrace& forward,
           ++metrics.prefetches;
           metrics.pcie_busy += xfer;
           pcie_cursor += xfer;
+          async_copies.push_back(d.expert);
         }
       }
     }
@@ -150,13 +177,32 @@ double OffloadEngine::run_step(const workload::ForwardTrace& forward,
           ++metrics.maintenance;
           metrics.pcie_busy += xfer;
           pcie_cursor += xfer;
+          async_copies.push_back(id);
         }
+      }
+    }
+
+    // All cache bookkeeping for the layer is done — now execute the plan.
+    // Threaded mode runs it for real (the call returns when every compute
+    // task finished; speculative copies keep draining asynchronously);
+    // simulated-with-executor computes the reference outputs only.
+    if (executor != nullptr) {
+      if (threaded) {
+        (void)executor->execute_layer(plan, overhead, async_copies, xfer);
+      } else {
+        (void)executor->execute_layer_reference(plan);
       }
     }
 
     pcie_carry = std::max(0.0, pcie_cursor - plan.makespan);
   }
   metrics.cache.hits += transient_hits;  // prefetch-buffer hits count as hits
+  if (executor != nullptr) {
+    step_guard.executor = nullptr;
+    const exec::StepResult step = executor->end_step();
+    metrics.measured_latency += step.measured;
+    metrics.exec_digest = exec::hash_u64(metrics.exec_digest, step.digest);
+  }
   return latency;
 }
 

@@ -13,6 +13,7 @@
 
 #include "cache/expert_cache.hpp"
 #include "core/prefetcher.hpp"
+#include "exec/executor.hpp"
 #include "hw/cost_model.hpp"
 #include "runtime/metrics.hpp"
 #include "sched/schedulers.hpp"
@@ -39,38 +40,72 @@ struct EngineComponents {
   /// allocation out of Python into the C++ kernels precisely because this
   /// term is significant in Python-orchestrated baselines.
   double per_layer_overhead = 0.0;
+
+  /// Which backend executes the scheduler's plans. Simulated charges the
+  /// plan's modeled times only (the default, and the only mode that needs
+  /// no executor); Threaded additionally lowers every plan onto real
+  /// threads via `executor` and records wall-clock measurements in
+  /// StageMetrics::measured_latency.
+  exec::ExecutionMode execution_mode = exec::ExecutionMode::Simulated;
+  /// Execution backend. Required for Threaded mode; optional in Simulated
+  /// mode, where — if present — it runs the single-threaded reference path
+  /// so both modes produce comparable layer-output digests. May be shared
+  /// across engines that run sequentially (see exec::HybridExecutor
+  /// thread-safety notes: one engine step at a time).
+  std::shared_ptr<exec::HybridExecutor> executor;
 };
 
+/// The per-layer offloading loop. Not internally synchronized: one engine
+/// serves one logical stream of steps from one thread at a time (in Threaded
+/// mode that calling thread *is* the GPU lane of the execution backend).
 class OffloadEngine {
  public:
+  /// \brief Assemble an engine from its policy components against a cost
+  /// model (which must outlive the engine). Throws std::invalid_argument on
+  /// missing required components (scheduler, cache, name, or — in Threaded
+  /// mode — the executor).
   OffloadEngine(EngineComponents components, const hw::CostModel& costs);
 
+  /// \brief Framework name (stable for the engine's lifetime).
   [[nodiscard]] const std::string& name() const noexcept { return components_.name; }
+  /// \brief The GPU expert cache (engine-thread only).
   [[nodiscard]] cache::ExpertCache& cache() noexcept { return *components_.cache; }
   [[nodiscard]] const cache::ExpertCache& cache() const noexcept {
     return *components_.cache;
   }
+  /// \brief The analytical cost model this engine charges against.
   [[nodiscard]] const hw::CostModel& costs() const noexcept { return costs_; }
+  /// \brief The layer scheduler (engine-thread only).
   [[nodiscard]] sched::LayerScheduler& scheduler() noexcept {
     return *components_.scheduler;
   }
+  /// \brief Active execution mode (fixed at construction).
+  [[nodiscard]] exec::ExecutionMode execution_mode() const noexcept {
+    return components_.execution_mode;
+  }
 
-  /// Pre-populate the cache (from warmup frequencies). Pinned entries model
-  /// static placements that never change at runtime.
+  /// \brief Pre-populate the cache (from warmup frequencies). Pinned entries
+  /// model static placements that never change at runtime.
   void seed_cache(std::span<const moe::ExpertId> experts, bool pinned);
 
-  /// Run one prefill request; returns TTFT and friends.
+  /// \brief Run one prefill request; returns TTFT and friends.
   [[nodiscard]] StageMetrics run_prefill(const workload::PrefillTrace& trace);
 
-  /// Run a decode phase; returns per-token latencies and TBT.
+  /// \brief Run a decode phase; returns per-token latencies and TBT.
   [[nodiscard]] StageMetrics run_decode(const workload::DecodeTrace& trace);
 
-  /// Step-level entry point: process one forward pass — a prefill chunk, a
-  /// decode step, or a continuous-batching composition of several requests
-  /// (workload::merge_forward_traces) — under the given stage's scheduling
-  /// semantics, accumulating engine counters into `metrics` (the caller owns
-  /// per_forward/total_latency/cache bookkeeping). Returns the pass latency.
+  /// \brief Step-level entry point: process one forward pass — a prefill
+  /// chunk, a decode step, or a continuous-batching composition of several
+  /// requests (workload::merge_forward_traces) — under the given stage's
+  /// scheduling semantics, accumulating engine counters into `metrics` (the
+  /// caller owns per_forward/total_latency/cache bookkeeping). Returns the
+  /// *modeled* pass latency in every mode; in Threaded mode the wall-clock
+  /// measurement additionally lands in metrics.measured_latency and the
+  /// layer-output digest in metrics.exec_digest.
   /// run_prefill/run_decode and the ServeEngine are thin loops over this.
+  /// Engine-thread only: in Threaded mode the calling thread runs the GPU
+  /// lane (dense phase + routed GPU experts) while the backend's worker
+  /// pool and copy thread run the CPU and PCIe lanes.
   double run_step(const workload::ForwardTrace& forward, sched::Stage stage,
                   StageMetrics& metrics);
 

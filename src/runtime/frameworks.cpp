@@ -104,6 +104,8 @@ std::unique_ptr<OffloadEngine> make_engine(Framework framework,
     }
   }
 
+  c.execution_mode = info.execution_mode;
+  c.executor = info.executor;
   auto engine = std::make_unique<OffloadEngine>(std::move(c), costs);
   if (framework != Framework::LlamaCpp) seed_from_warmup(*engine, info, pin_seed);
   return engine;
@@ -153,6 +155,8 @@ std::unique_ptr<OffloadEngine> make_ablation_engine(const core::HybriMoeConfig& 
         std::make_unique<core::ImpactDrivenPrefetcher>(config.prefetch, impact);
   }
 
+  c.execution_mode = info.execution_mode;
+  c.executor = info.executor;
   auto engine = std::make_unique<OffloadEngine>(std::move(c), costs);
   seed_from_warmup(*engine, info, pin_seed);
   return engine;

@@ -51,6 +51,12 @@ struct EngineBuildInfo {
   /// and to pick kTransformers' static placement. May be empty.
   std::vector<std::vector<double>> warmup_frequencies;
   std::uint64_t seed = 1;  ///< randomized policies only
+  /// Execution backend wiring (see EngineComponents::execution_mode):
+  /// Simulated with no executor by default; every framework built from the
+  /// same info shares the executor (and therefore its deterministic weight
+  /// store, making output digests comparable across frameworks).
+  exec::ExecutionMode execution_mode = exec::ExecutionMode::Simulated;
+  std::shared_ptr<exec::HybridExecutor> executor;
 };
 
 /// Build one of the evaluated frameworks against a cost model.

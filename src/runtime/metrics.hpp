@@ -8,6 +8,7 @@
 /// StageMetrics as its aggregate step counters.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "cache/expert_cache.hpp"
@@ -34,6 +35,18 @@ struct StageMetrics {
   std::size_t transfers = 0;      ///< on-demand expert uploads
   std::size_t prefetches = 0;     ///< speculative uploads
   std::size_t maintenance = 0;    ///< score-driven cache admissions
+
+  /// Wall-clock latency measured by the threaded execution backend,
+  /// re-expressed in modeled seconds (wall / time_scale) so it is directly
+  /// comparable to total_latency. Stays 0 in simulated mode; the
+  /// modeled-vs-measured gap is the validation the §V real-system claim
+  /// rests on (bench_exec_validation).
+  double measured_latency = 0.0;
+  /// Chained FNV-1a digest of every layer output produced by the execution
+  /// backend (0 when no executor is attached). Bitwise-equal digests across
+  /// execution modes, worker counts and frameworks certify that scheduling
+  /// only moves computation — it never changes the result.
+  std::uint64_t exec_digest = 0;
 
   /// Time To First Token — the prefill metric (Fig. 7).
   [[nodiscard]] double ttft() const {

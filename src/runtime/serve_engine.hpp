@@ -28,6 +28,7 @@
 
 namespace hybrimoe::runtime {
 
+/// Serving-loop knobs.
 struct ServeOptions {
   /// Maximum concurrently active (admitted, unfinished) requests.
   std::size_t max_batch = 8;
@@ -36,6 +37,7 @@ struct ServeOptions {
   /// ServeEngine::run enforces that the requests it is handed respect it.
   std::size_t max_prefill_chunk = 0;
 
+  /// \brief Throws std::invalid_argument on structurally invalid options.
   void validate() const;
 };
 
@@ -49,18 +51,25 @@ struct ServeOptions {
     workload::TraceGenerator& generator,
     std::span<const workload::RequestSpec> specs, std::size_t max_prefill_chunk = 0);
 
+/// Request-level serving loop over one OffloadEngine. Not internally
+/// synchronized: like the engine it wraps, a ServeEngine serves from one
+/// thread at a time — in Threaded execution mode the calling thread is the
+/// GPU lane of every composed step (see exec::HybridExecutor).
 class ServeEngine {
  public:
+  /// \brief Take ownership of the engine that will run every composed step.
   explicit ServeEngine(std::unique_ptr<OffloadEngine> engine);
 
+  /// \brief The wrapped offload engine (caller's thread only).
   [[nodiscard]] OffloadEngine& engine() noexcept { return *engine_; }
   [[nodiscard]] const OffloadEngine& engine() const noexcept { return *engine_; }
 
-  /// Serve the stream to completion. Requests must be freshly materialised
-  /// (Queued, cursors at zero, chunk/step counts matching their specs); they
-  /// are processed FIFO by arrival time. Returns per-request metrics in
-  /// arrival order plus the aggregate step metrics; asserts that every
-  /// request finished with exactly its budgeted tokens.
+  /// \brief Serve the stream to completion. Requests must be freshly
+  /// materialised (Queued, cursors at zero, chunk/step counts matching their
+  /// specs); they are processed FIFO by arrival time. Returns per-request
+  /// metrics in arrival order plus the aggregate step metrics (including,
+  /// in Threaded execution mode, accumulated measured_latency/exec_digest);
+  /// asserts that every request finished with exactly its budgeted tokens.
   [[nodiscard]] ServeMetrics run(std::vector<Request> requests,
                                  const ServeOptions& options = {});
 

@@ -74,6 +74,8 @@ std::unique_ptr<OffloadEngine> ExperimentHarness::build(Framework framework) con
   info.cache_ratio = spec_.cache_ratio;
   info.warmup_frequencies = warmup_frequencies_;
   info.seed = spec_.trace.seed;
+  info.execution_mode = spec_.execution_mode;
+  info.executor = spec_.executor;
   return make_engine(framework, costs_, info);
 }
 
@@ -83,7 +85,17 @@ std::unique_ptr<OffloadEngine> ExperimentHarness::build(
   info.cache_ratio = spec_.cache_ratio;
   info.warmup_frequencies = warmup_frequencies_;
   info.seed = spec_.trace.seed;
+  info.execution_mode = spec_.execution_mode;
+  info.executor = spec_.executor;
   return make_ablation_engine(config, costs_, info);
+}
+
+void ExperimentHarness::set_execution(exec::ExecutionMode mode,
+                                      std::shared_ptr<exec::HybridExecutor> executor) {
+  HYBRIMOE_REQUIRE(mode == exec::ExecutionMode::Simulated || executor != nullptr,
+                   "threaded execution requires an executor");
+  spec_.execution_mode = mode;
+  spec_.executor = std::move(executor);
 }
 
 StageMetrics ExperimentHarness::run_prefill(Framework framework, std::size_t tokens) {

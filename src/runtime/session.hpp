@@ -35,6 +35,11 @@ struct ExperimentSpec {
   double cache_ratio = 0.25;
   workload::TraceGenParams trace;  ///< includes the seed
   std::size_t warmup_steps = 48;   ///< decode steps observed by the warmup
+  /// Execution backend for built engines (default: pure simulation). The
+  /// same traces serve both modes, so modeled-vs-measured comparisons are
+  /// apples-to-apples; see ExperimentHarness::set_execution.
+  exec::ExecutionMode execution_mode = exec::ExecutionMode::Simulated;
+  std::shared_ptr<exec::HybridExecutor> executor;
 };
 
 /// Builds the cost model, the shared traces and the warmup statistics once,
@@ -58,6 +63,13 @@ class ExperimentHarness {
   [[nodiscard]] std::unique_ptr<OffloadEngine> build(Framework framework) const;
   [[nodiscard]] std::unique_ptr<OffloadEngine> build(
       const core::HybriMoeConfig& config) const;
+
+  /// Switch the execution backend for subsequently built engines — the
+  /// knob benches/tests turn to run the *same* harness traces through
+  /// simulated and threaded execution (bench_exec_validation's A/B). Pass
+  /// Simulated with a non-null executor for reference-output runs.
+  void set_execution(exec::ExecutionMode mode,
+                     std::shared_ptr<exec::HybridExecutor> executor);
 
   // -- One-call experiment runners ----------------------------------------
   [[nodiscard]] StageMetrics run_prefill(Framework framework, std::size_t tokens);

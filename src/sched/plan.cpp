@@ -24,6 +24,26 @@ std::vector<moe::ExpertId> LayerPlan::transferred_experts() const {
   return out;
 }
 
+std::vector<std::size_t> LayerPlan::device_order(ComputeDevice device) const {
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    if (tasks[i].device == device) order.push_back(i);
+  std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return tasks[a].start < tasks[b].start;
+  });
+  return order;
+}
+
+std::vector<std::size_t> LayerPlan::transfer_order() const {
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    if (tasks[i].transferred) order.push_back(i);
+  std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return tasks[a].transfer_start < tasks[b].transfer_start;
+  });
+  return order;
+}
+
 hw::TimelineSet LayerPlan::to_timelines() const {
   hw::TimelineSet set;
   // Collect intervals per resource in start order, then replay.

@@ -80,6 +80,15 @@ struct LayerPlan {
   /// Experts uploaded on demand (they enter the cache on completion).
   [[nodiscard]] std::vector<moe::ExpertId> transferred_experts() const;
 
+  /// Indices of the tasks computed on `device`, in compute-start order —
+  /// the serial occupation order of that resource lane. The execution
+  /// backend lowers each lane into a chain of real tasks in this order.
+  [[nodiscard]] std::vector<std::size_t> device_order(ComputeDevice device) const;
+
+  /// Indices of the transferred tasks in transfer-start order — the FIFO
+  /// service order of the PCIe lane (the copy engine's submission order).
+  [[nodiscard]] std::vector<std::size_t> transfer_order() const;
+
   /// Rebuild resource timelines (for Gantt rendering and validation).
   [[nodiscard]] hw::TimelineSet to_timelines() const;
 };

@@ -1,0 +1,81 @@
+#include "exec/copy_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hybrimoe::exec {
+namespace {
+
+TEST(CopyEngine, ServicesJobsInSubmissionOrder) {
+  CopyEngine engine;
+  std::mutex m;
+  std::vector<int> order;
+  for (int i = 0; i < 32; ++i)
+    engine.submit([&m, &order, i] {
+      std::lock_guard lock(m);
+      order.push_back(i);
+    });
+  engine.drain();
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(engine.completed(), 32u);
+}
+
+TEST(CopyEngine, DrainWaitsForInFlightJob) {
+  CopyEngine engine;
+  std::atomic<bool> finished{false};
+  engine.submit([&finished] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    finished.store(true);
+  });
+  engine.drain();
+  EXPECT_TRUE(finished.load());
+}
+
+TEST(CopyEngine, UsableAcrossMultipleDrains) {
+  CopyEngine engine;
+  for (int round = 0; round < 3; ++round) {
+    engine.submit([] {});
+    engine.drain();
+  }
+  EXPECT_EQ(engine.completed(), 3u);
+}
+
+TEST(CopyEngine, DestructorDrainsPendingJobs) {
+  std::atomic<int> count{0};
+  {
+    CopyEngine engine;
+    for (int i = 0; i < 16; ++i)
+      engine.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        count.fetch_add(1);
+      });
+  }  // join
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(CopyEngine, JobExceptionIsCapturedAndRethrown) {
+  CopyEngine engine;
+  engine.submit([] { throw std::runtime_error("copy failed"); });
+  engine.submit([] {});  // the thread survives the throwing job
+  engine.drain();
+  EXPECT_EQ(engine.completed(), 2u);
+  EXPECT_THROW(engine.rethrow_pending_error(), std::runtime_error);
+  engine.rethrow_pending_error();  // cleared: second call is a no-op
+}
+
+TEST(CopyEngine, JobsRunOffTheSubmittingThread) {
+  CopyEngine engine;
+  std::thread::id copy_thread;
+  engine.submit([&copy_thread] { copy_thread = std::this_thread::get_id(); });
+  engine.drain();
+  EXPECT_NE(copy_thread, std::this_thread::get_id());
+}
+
+}  // namespace
+}  // namespace hybrimoe::exec

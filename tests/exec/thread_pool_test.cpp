@@ -1,0 +1,100 @@
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace hybrimoe::exec {
+namespace {
+
+TEST(ThreadPool, ExecutesEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i)
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 200);
+  EXPECT_EQ(pool.tasks_executed(), 200u);
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) {
+  EXPECT_THROW(ThreadPool pool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, StealsFromAnImbalancedQueue) {
+  // Pin every task to worker 0's queue: worker 1 has nothing of its own and
+  // must steal to participate at all.
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 64; ++i)
+    pool.submit_to(0, [&count] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 64);
+  EXPECT_GE(pool.tasks_stolen(), 1u);
+}
+
+TEST(ThreadPool, TasksMaySubmitFollowUpTasks) {
+  // The executor chains CPU-lane tasks exactly this way.
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::function<void(int)> chain = [&](int remaining) {
+    count.fetch_add(1, std::memory_order_relaxed);
+    if (remaining > 0) pool.submit([&chain, remaining] { chain(remaining - 1); });
+  };
+  pool.submit([&chain] { chain(49); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i)
+      pool.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        count.fetch_add(1, std::memory_order_relaxed);
+      });
+  }  // join
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, TaskExceptionIsCapturedAndRethrown) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  pool.wait_idle();
+  EXPECT_THROW(pool.rethrow_pending_error(), std::runtime_error);
+  pool.rethrow_pending_error();  // cleared: second call is a no-op
+}
+
+TEST(ThreadPool, SubmitToValidatesWorkerIndex) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.submit_to(2, [] {}), std::invalid_argument);
+}
+
+TEST(ThreadPool, TasksRunOnMultipleThreads) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::set<std::thread::id> ids;
+  for (int i = 0; i < 64; ++i)
+    pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      std::lock_guard lock(m);
+      ids.insert(std::this_thread::get_id());
+    });
+  pool.wait_idle();
+  EXPECT_GE(ids.size(), 2u);  // sleeping tasks overlap even on one core
+  EXPECT_FALSE(ids.contains(std::this_thread::get_id()));
+}
+
+}  // namespace
+}  // namespace hybrimoe::exec

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 namespace hybrimoe::hw {
 namespace {
 
@@ -96,6 +99,37 @@ TEST_F(CalibrationTest, NoiseParameterValidated) {
   util::Rng rng(105);
   EXPECT_THROW((void)simulate_measurements(truth_, rng, 0, 0.0), std::invalid_argument);
   EXPECT_THROW((void)simulate_measurements(truth_, rng, 1, 0.9), std::invalid_argument);
+}
+
+TEST(WallClockTest, TimeCallableMeasuresRealWork) {
+  // A 2ms sleep must measure at least 2ms (and a no-op far less than that).
+  const double slept = time_callable(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(2)); }, 3);
+  EXPECT_GE(slept, 2e-3);
+  EXPECT_LT(time_callable([] {}, 3), 2e-3);
+  EXPECT_THROW((void)time_callable({}, 3), std::invalid_argument);
+  EXPECT_THROW((void)time_callable([] {}, 0), std::invalid_argument);
+}
+
+TEST(WallClockTest, MeasureComputeSamplesFeedsTheFitters) {
+  // Time a synthetic kernel whose cost grows with the token load; the
+  // samples must be usable where simulated cpu_warm samples are.
+  const std::vector<std::size_t> loads{1, 4, 16};
+  const auto samples = measure_compute_samples(
+      [](std::size_t tokens) {
+        volatile double sink = 0.0;
+        for (std::size_t i = 0; i < tokens * 20000; ++i) sink = sink + 1.0;
+      },
+      loads, 3);
+  ASSERT_EQ(samples.size(), loads.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].tokens, loads[i]);
+    EXPECT_GT(samples[i].seconds, 0.0);
+  }
+  EXPECT_GT(samples.back().seconds, samples.front().seconds);
+  const std::vector<std::size_t> bad{0};
+  EXPECT_THROW((void)measure_compute_samples([](std::size_t) {}, bad, 3),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# Doc-coverage gate for the execution backend's public headers (CI job).
+#
+# Rule: every public declaration at namespace scope in src/exec/*.hpp —
+# classes, structs, enums, free functions, and public member functions /
+# constructors inside `public:` sections — must be immediately preceded by a
+# Doxygen `///` comment line (or share a line with one). The backend is the
+# most concurrency-dense code in the repository; undocumented thread-safety
+# assumptions are how it would rot.
+#
+# Usage: tools/check_exec_docs.sh [dir]   (default: src/exec)
+# Exits non-zero listing undocumented declarations.
+
+set -eu
+dir="${1:-src/exec}"
+
+fail=0
+for header in "$dir"/*.hpp; do
+  out=$(awk '
+    # Track public sections inside class bodies (structs default public).
+    /^ *public:/    { access = "public" }
+    /^ *private:/   { access = "private" }
+    /^ *protected:/ { access = "private" }
+    /^(class|struct) /       { access = "public" }
+    # A declaration line: class/struct/enum at col 0, or a function-ish line
+    # (ends in "(" args..., contains "(") at col 0 or 2, that is not a macro,
+    # comment, control keyword, or continuation.
+    {
+      line = $0
+      is_decl = 0
+      if (line ~ /^(class|struct|enum class|template) [A-Za-z_]/) is_decl = 1
+      else if (line ~ /^ ? ?(\[\[nodiscard\]\] |inline |constexpr |static |explicit |virtual |friend )*[A-Za-z_:<>,&* ]*[A-Za-z_]+ *\(/ \
+               && line !~ /^ *(if|for|while|switch|return)\b/ \
+               && line !~ /^ *\/\// && line !~ /^#/ \
+               && line !~ /^ *}/ && line !~ /=.*;$/) is_decl = 2
+      if (is_decl == 2 && access == "private") is_decl = 0
+      # Deleted/defaulted special members and operators need no docs.
+      if (line ~ /= *(delete|default) *;/) is_decl = 0
+      if (line ~ /operator/) is_decl = 0
+      if (is_decl && prev !~ /^ *\/\/\// && line !~ /\/\/\//)
+        printf "%s:%d: undocumented public declaration: %s\n", FILENAME, FNR, line
+      if (line !~ /^ *$/) prev = line
+    }
+  ' "$header")
+  if [ -n "$out" ]; then
+    echo "$out"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo 'FAIL: public declarations lack /// doc comments (add \brief + thread-safety notes).'
+  exit 1
+fi
+echo "OK: every public declaration in $dir/*.hpp is documented."
