@@ -4,15 +4,21 @@
 /// GPU expert cache ratios {25,50,75}%. Per-cell speedups are relative to
 /// KTransformers, matching the paper's right axis; the paper's headline is
 /// an average 1.33x speedup of HybriMoE over KTransformers.
+///
+/// `--stacks` swaps the evaluated stacks for any preset/custom spec list
+/// (the KTransformers reference row is always computed); `--list-stacks`
+/// prints what is available.
 
 #include <iostream>
 #include <map>
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybrimoe;
   using namespace hybrimoe::bench;
+
+  const StackArgs args = parse_stack_args(argc, argv, runtime::kPaperFrameworks);
 
   print_header("Prefill stage performance (TTFT, seconds)", "paper Fig. 7");
 
@@ -22,7 +28,7 @@ int main() {
       runtime::ExperimentHarness harness(make_spec(model, ratio));
 
       util::TextTable table(model.name + " with " + pct(ratio) + " cache ratio");
-      table.set_headers({"framework", "32", "128", "512", "1024", "avg",
+      table.set_headers({"stack", "32", "128", "512", "1024", "avg",
                          "speedup vs KTrans"});
 
       // KTransformers reference row computed first (shared traces).
@@ -30,12 +36,12 @@ int main() {
       for (const std::size_t len : workload::kPaperPrefillLengths)
         ktrans[len] = harness.run_prefill(runtime::Framework::KTransformers, len).ttft();
 
-      for (const auto framework : runtime::kPaperFrameworks) {
+      for (const auto& stack : args.stacks) {
         double sum = 0.0;
         double ktrans_sum = 0.0;
-        table.begin_row().add_cell(runtime::to_string(framework));
+        table.begin_row().add_cell(stack.display_name());
         for (const std::size_t len : workload::kPaperPrefillLengths) {
-          const double ttft = harness.run_prefill(framework, len).ttft();
+          const double ttft = harness.run_prefill(stack, len).ttft();
           sum += ttft;
           ktrans_sum += ktrans[len];
           table.add_cell(ttft, 3);
@@ -43,14 +49,16 @@ int main() {
         const double avg = sum / static_cast<double>(workload::kPaperPrefillLengths.size());
         const double speedup = ktrans_sum / sum;
         table.add_cell(avg, 3).add_cell(util::format_speedup(speedup));
-        if (framework == runtime::Framework::HybriMoE) hybrimoe_speedup.add(speedup);
+        if (stack.display_name() == runtime::to_string(runtime::Framework::HybriMoE))
+          hybrimoe_speedup.add(speedup);
       }
       table.print(std::cout);
     }
   }
 
-  std::cout << "\nHybriMoE average prefill speedup vs KTransformers: "
-            << util::format_speedup(hybrimoe_speedup.mean())
-            << "   (paper reports 1.33x)\n";
+  if (hybrimoe_speedup.count() > 0)
+    std::cout << "\nHybriMoE average prefill speedup vs KTransformers: "
+              << util::format_speedup(hybrimoe_speedup.mean())
+              << "   (paper reports 1.33x)\n";
   return 0;
 }

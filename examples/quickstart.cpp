@@ -66,6 +66,18 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
+  // Off-preset stacks are one JSON string away (see docs/ARCHITECTURE.md §9
+  // and tools/hybrimoe_run): here, HybriMoE's scheduler with the classic LRU
+  // cache and no prefetching — a combination no Framework preset offers.
+  const runtime::StackSpec custom = runtime::parse_stack_spec(
+      R"({"name": "hybrid-lru", "scheduler": "hybrid", "cache": "lru",
+          "prefetch": "none", "update_scores": false, "cache_maintenance": false})");
+  const auto custom_decode = harness.run_decode(custom, kDecodeSteps);
+  std::cout << "\ncustom stack " << custom.display_name() << " (declarative spec): TBT "
+            << util::format_seconds(custom_decode.tbt_mean()) << ", speedup vs KTrans "
+            << util::format_speedup(ktrans_decode.tbt_mean() / custom_decode.tbt_mean())
+            << "\n";
+
   if (threaded) {
     // Re-run a short decode with plans lowered onto real threads. The pacing
     // scale targets ~0.4s of wall clock per framework but never drops below

@@ -1,165 +1,215 @@
 #include "runtime/frameworks.hpp"
 
-#include "cache/classic_policies.hpp"
-#include "cache/mrs_policy.hpp"
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "cache/expert_cache.hpp"
 #include "core/warmup.hpp"
+#include "runtime/stack_registry.hpp"
 #include "util/assert.hpp"
 
 namespace hybrimoe::runtime {
 
 namespace {
 
-/// Per-layer dispatch overheads (§V): Python-orchestrated frameworks pay a
-/// synchronisation/dispatch cost every MoE layer; llama.cpp is native C++;
-/// HybriMoE moves allocation into the C++ kernels.
-constexpr double kPythonOverhead = 150e-6;   // AdapMoE-style PyTorch loop
-constexpr double kKTransOverhead = 120e-6;   // Python frontend + C++ kernels
-constexpr double kLlamaCppOverhead = 60e-6;  // native C++ graph walk
-constexpr double kHybriMoeOverhead = 40e-6;  // in-kernel task allocation
+/// Per-layer dispatch overheads in microseconds (§V): Python-orchestrated
+/// frameworks pay a synchronisation/dispatch cost every MoE layer;
+/// llama.cpp is native C++; HybriMoE moves allocation into the C++ kernels.
+/// Microseconds are the spec unit; assembly divides by the exactly
+/// representable 1e6, which reproduces the historical `Xe-6` second
+/// constants bit for bit.
+constexpr double kPythonOverheadUs = 150.0;   // AdapMoE-style PyTorch loop
+constexpr double kKTransOverheadUs = 120.0;   // Python frontend + C++ kernels
+constexpr double kLlamaCppOverheadUs = 60.0;  // native C++ graph walk
+constexpr double kHybriMoeOverheadUs = 40.0;  // in-kernel task allocation
 
-std::unique_ptr<cache::ExpertCache> make_cache(const moe::ModelConfig& model,
-                                               double ratio,
-                                               std::unique_ptr<cache::CachePolicy> policy) {
-  const std::size_t capacity = cache::ExpertCache::capacity_for_ratio(model, ratio);
-  return std::make_unique<cache::ExpertCache>(capacity, std::move(policy));
-}
-
-/// Seed (optionally pin) the hottest warmup experts into a fresh cache.
-void seed_from_warmup(OffloadEngine& engine, const EngineBuildInfo& info, bool pinned) {
-  if (info.warmup_frequencies.empty()) return;
-  const auto hottest =
-      core::hottest_experts(info.warmup_frequencies, engine.cache().capacity());
-  engine.seed_cache(hottest, pinned);
+util::Registry<Framework>& framework_registry() {
+  static util::Registry<Framework> registry = [] {
+    util::Registry<Framework> r("framework preset");
+    for (const Framework f : kAllFrameworks) r.add(to_string(f), f);
+    return r;
+  }();
+  return registry;
 }
 
 }  // namespace
 
-std::unique_ptr<OffloadEngine> make_engine(Framework framework,
-                                           const hw::CostModel& costs,
-                                           const EngineBuildInfo& info) {
-  const moe::ModelConfig& model = costs.model();
-  EngineComponents c;
-  bool pin_seed = false;
+Framework framework_from_name(std::string_view name) {
+  return framework_registry().get(name);
+}
 
+std::vector<std::string> preset_names() { return framework_registry().names(); }
+
+StackSpec preset_spec(Framework framework) {
+  StackSpec spec;  // defaults are the full HybriMoE component set
+  spec.name = to_string(framework);
   switch (framework) {
     case Framework::HybriMoE: {
-      c.name = to_string(framework);
-      sched::SimOptions hybrid_options;  // all features on
-      c.scheduler = std::make_unique<sched::HybridScheduler>(hybrid_options);
-      c.cache = make_cache(model, info.cache_ratio, std::make_unique<cache::MrsPolicy>());
-      c.prefetcher = std::make_unique<core::ImpactDrivenPrefetcher>(
-          core::ImpactDrivenPrefetcher::Params{}, hybrid_options);
-      c.dynamic_cache_inserts = true;
-      c.update_policy_scores = true;
-      c.cache_maintenance = true;
-      c.per_layer_overhead = kHybriMoeOverhead;
+      spec.overhead_us = kHybriMoeOverheadUs;
       break;
     }
     case Framework::KTransformers: {
-      c.name = to_string(framework);
-      c.scheduler = std::make_unique<sched::FixedMapScheduler>();
-      c.cache = make_cache(model, info.cache_ratio, std::make_unique<cache::LfuPolicy>());
-      c.prefetcher = nullptr;
-      c.dynamic_cache_inserts = false;  // static placement
-      c.update_policy_scores = false;
-      c.cache_maintenance = false;
-      c.per_layer_overhead = kKTransOverhead;
-      pin_seed = true;
+      spec.scheduler.policy = "fixed-map";
+      spec.cache.policy = "lfu";
+      spec.prefetch.policy = "none";
+      spec.dynamic_cache_inserts = false;  // static placement
+      spec.update_policy_scores = false;
+      spec.cache_maintenance = false;
+      spec.overhead_us = kKTransOverheadUs;
+      spec.warmup = WarmupSeeding::Pinned;
       break;
     }
     case Framework::AdapMoE: {
-      c.name = to_string(framework);
-      c.scheduler = std::make_unique<sched::GpuCentricScheduler>();
-      c.cache = make_cache(model, info.cache_ratio, std::make_unique<cache::LruPolicy>());
-      c.prefetcher = std::make_unique<core::NextLayerTopPrefetcher>();
-      c.dynamic_cache_inserts = true;
-      c.update_policy_scores = false;
-      c.cache_maintenance = false;
-      c.per_layer_overhead = kPythonOverhead;
+      spec.scheduler.policy = "gpu-centric";
+      spec.cache.policy = "lru";
+      spec.prefetch.policy = "next-layer";
+      spec.update_policy_scores = false;
+      spec.cache_maintenance = false;
+      spec.overhead_us = kPythonOverheadUs;
       break;
     }
     case Framework::LlamaCpp: {
-      c.name = to_string(framework);
-      c.scheduler =
-          std::make_unique<sched::StaticLayerScheduler>(model.num_layers, info.cache_ratio);
-      // llama.cpp has no expert cache; residency is the static layer split.
-      c.cache = std::make_unique<cache::ExpertCache>(0, std::make_unique<cache::LruPolicy>());
-      c.prefetcher = nullptr;
-      c.dynamic_cache_inserts = false;
-      c.update_policy_scores = false;
-      c.cache_maintenance = false;
-      c.per_layer_overhead = kLlamaCppOverhead;
+      spec.scheduler.policy = "static-layer";
+      // llama.cpp has no expert cache; residency is the static layer split
+      // (the scheduler's gpu_fraction stays unset = the build's cache ratio).
+      spec.cache.policy = "lru";
+      spec.cache.ratio = 0.0;
+      spec.prefetch.policy = "none";
+      spec.dynamic_cache_inserts = false;
+      spec.update_policy_scores = false;
+      spec.cache_maintenance = false;
+      spec.overhead_us = kLlamaCppOverheadUs;
+      spec.warmup = WarmupSeeding::None;
       break;
     }
     case Framework::OnDemand: {
-      c.name = to_string(framework);
-      c.scheduler = std::make_unique<sched::GpuCentricScheduler>();
-      c.cache = make_cache(model, info.cache_ratio, std::make_unique<cache::LruPolicy>());
-      c.prefetcher = nullptr;
-      c.dynamic_cache_inserts = true;
-      c.update_policy_scores = false;
-      c.cache_maintenance = false;
-      c.per_layer_overhead = kPythonOverhead;
+      spec.scheduler.policy = "gpu-centric";
+      spec.cache.policy = "lru";
+      spec.prefetch.policy = "none";
+      spec.update_policy_scores = false;
+      spec.cache_maintenance = false;
+      spec.overhead_us = kPythonOverheadUs;
       break;
     }
   }
+  return spec;
+}
 
-  c.execution_mode = info.execution_mode;
+StackSpec preset_spec(std::string_view name) {
+  return preset_spec(framework_from_name(name));
+}
+
+StackSpec ablation_spec(const core::HybriMoeConfig& config) {
+  StackSpec spec;
+  spec.name = config.label();
+  // Fixed baseline-level dispatch overhead across all ablation variants: the
+  // ablation isolates the three techniques, not the C++ reimplementation.
+  spec.overhead_us = kKTransOverheadUs;
+
+  spec.scheduler.policy = config.hybrid_scheduling ? "hybrid" : "fixed-map";
+
+  if (config.score_aware_caching) {
+    spec.cache.policy = "mrs";
+    spec.cache.alpha = config.mrs.alpha;
+    spec.cache.top_p_factor = config.mrs.top_p_factor;
+    // dynamic_cache_inserts / update_policy_scores / cache_maintenance stay
+    // at their defaults (all on) — the §IV-D dynamic caching technique.
+  } else {
+    spec.cache.policy = "lfu";
+    // Without the caching technique the placement is static — except that
+    // scheduling/prefetching variants still admit their own transfers,
+    // mirroring how the ablation is stacked on the kTransformers baseline.
+    spec.dynamic_cache_inserts = config.hybrid_scheduling || config.impact_prefetching;
+    spec.update_policy_scores = false;
+    spec.cache_maintenance = false;
+    spec.warmup = spec.dynamic_cache_inserts ? WarmupSeeding::Seeded
+                                             : WarmupSeeding::Pinned;
+  }
+
+  if (config.impact_prefetching) {
+    spec.prefetch.policy = "impact";
+    spec.prefetch.depth = config.prefetch.depth;
+    spec.prefetch.confidence_decay = config.prefetch.confidence_decay;
+    spec.prefetch.max_per_layer = config.prefetch.max_per_layer;
+  } else {
+    spec.prefetch.policy = "none";
+  }
+  return spec;
+}
+
+StackSpec resolve_stack(const std::string& arg) {
+  if (!arg.empty() && arg.front() == '@') {
+    const std::string path = arg.substr(1);
+    std::ifstream in(path);
+    if (!in) throw std::invalid_argument("cannot open stack spec file '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse_stack_spec(buffer.str());
+  }
+  if (!arg.empty() && arg.front() == '{') return parse_stack_spec(arg);
+  return preset_spec(arg);
+}
+
+void print_stack_catalog(std::ostream& os) {
+  os << "Framework presets (use the name, or mutate the JSON):\n";
+  for (const auto& name : preset_names())
+    os << "  " << name << "\n    " << to_json(preset_spec(name)) << "\n";
+  auto family = [&os](const char* label, const std::vector<std::string>& names) {
+    os << label << ":";
+    for (const auto& name : names) os << " " << name;
+    os << "\n";
+  };
+  family("Schedulers", scheduler_registry().names());
+  family("Cache policies", cache_policy_registry().names());
+  family("Prefetchers", prefetcher_registry().names());
+  os << "Stack arguments: preset name | inline JSON ('{...}') | @spec-file\n";
+}
+
+std::unique_ptr<OffloadEngine> make_engine(const StackSpec& spec,
+                                           const hw::CostModel& costs,
+                                           const EngineBuildInfo& info) {
+  spec.validate();
+  const moe::ModelConfig& model = costs.model();
+  ComponentContext ctx{costs, info, spec, nullptr};
+
+  EngineComponents c;
+  c.name = spec.display_name();
+  c.scheduler = scheduler_registry().get(spec.scheduler.policy)(ctx);
+  ctx.scheduler = c.scheduler.get();
+
+  const double ratio = spec.cache.ratio.value_or(info.cache_ratio);
+  c.cache = std::make_unique<cache::ExpertCache>(
+      cache::ExpertCache::capacity_for_ratio(model, ratio),
+      cache_policy_registry().get(spec.cache.policy)(ctx));
+  c.prefetcher = prefetcher_registry().get(spec.prefetch.policy)(ctx);
+
+  c.dynamic_cache_inserts = spec.dynamic_cache_inserts;
+  c.update_policy_scores = spec.update_policy_scores;
+  c.cache_maintenance = spec.cache_maintenance;
+  c.per_layer_overhead = spec.overhead_us.value_or(kDefaultOverheadUs) / 1e6;
+  c.execution_mode = spec.execution.value_or(info.execution_mode);
   c.executor = info.executor;
+
   auto engine = std::make_unique<OffloadEngine>(std::move(c), costs);
-  if (framework != Framework::LlamaCpp) seed_from_warmup(*engine, info, pin_seed);
+  if (spec.warmup != WarmupSeeding::None && !info.warmup_frequencies.empty()) {
+    const auto hottest =
+        core::hottest_experts(info.warmup_frequencies, engine->cache().capacity());
+    engine->seed_cache(hottest, spec.warmup == WarmupSeeding::Pinned);
+  }
   return engine;
+}
+
+std::unique_ptr<OffloadEngine> make_engine(Framework framework,
+                                           const hw::CostModel& costs,
+                                           const EngineBuildInfo& info) {
+  return make_engine(preset_spec(framework), costs, info);
 }
 
 std::unique_ptr<OffloadEngine> make_ablation_engine(const core::HybriMoeConfig& config,
                                                     const hw::CostModel& costs,
                                                     const EngineBuildInfo& info) {
-  const moe::ModelConfig& model = costs.model();
-  EngineComponents c;
-  c.name = config.label();
-  // Fixed baseline-level dispatch overhead across all ablation variants: the
-  // ablation isolates the three techniques, not the C++ reimplementation.
-  c.per_layer_overhead = kKTransOverhead;
-
-  sched::SimOptions hybrid_options;
-  if (config.hybrid_scheduling) {
-    c.scheduler = std::make_unique<sched::HybridScheduler>(hybrid_options);
-  } else {
-    c.scheduler = std::make_unique<sched::FixedMapScheduler>();
-  }
-
-  bool pin_seed;
-  if (config.score_aware_caching) {
-    c.cache = make_cache(model, info.cache_ratio,
-                         std::make_unique<cache::MrsPolicy>(config.mrs));
-    c.dynamic_cache_inserts = true;
-    c.update_policy_scores = true;
-    c.cache_maintenance = true;
-    pin_seed = false;
-  } else {
-    c.cache = make_cache(model, info.cache_ratio, std::make_unique<cache::LfuPolicy>());
-    // Without the caching technique the placement is static — except that
-    // scheduling/prefetching variants still admit their own transfers,
-    // mirroring how the ablation is stacked on the kTransformers baseline.
-    c.dynamic_cache_inserts = config.hybrid_scheduling || config.impact_prefetching;
-    c.update_policy_scores = false;
-    c.cache_maintenance = false;
-    pin_seed = !c.dynamic_cache_inserts;
-  }
-
-  if (config.impact_prefetching) {
-    const sched::SimOptions impact = config.hybrid_scheduling
-                                         ? hybrid_options
-                                         : c.scheduler->impact_options();
-    c.prefetcher =
-        std::make_unique<core::ImpactDrivenPrefetcher>(config.prefetch, impact);
-  }
-
-  c.execution_mode = info.execution_mode;
-  c.executor = info.executor;
-  auto engine = std::make_unique<OffloadEngine>(std::move(c), costs);
-  seed_from_warmup(*engine, info, pin_seed);
-  return engine;
+  return make_engine(ablation_spec(config), costs, info);
 }
 
 }  // namespace hybrimoe::runtime

@@ -81,13 +81,17 @@ std::unique_ptr<OffloadEngine> ExperimentHarness::build(Framework framework) con
 
 std::unique_ptr<OffloadEngine> ExperimentHarness::build(
     const core::HybriMoeConfig& config) const {
+  return build(ablation_spec(config));
+}
+
+std::unique_ptr<OffloadEngine> ExperimentHarness::build(const StackSpec& stack) const {
   EngineBuildInfo info;
   info.cache_ratio = spec_.cache_ratio;
   info.warmup_frequencies = warmup_frequencies_;
   info.seed = spec_.trace.seed;
   info.execution_mode = spec_.execution_mode;
   info.executor = spec_.executor;
-  return make_ablation_engine(config, costs_, info);
+  return make_engine(stack, costs_, info);
 }
 
 void ExperimentHarness::set_execution(exec::ExecutionMode mode,
@@ -120,6 +124,16 @@ StageMetrics ExperimentHarness::run_decode(const core::HybriMoeConfig& config,
   return serve_one_decode(build(config), trace);
 }
 
+StageMetrics ExperimentHarness::run_prefill(const StackSpec& stack, std::size_t tokens) {
+  const auto& trace = prefill_trace(tokens);
+  return serve_one_prefill(build(stack), trace);
+}
+
+StageMetrics ExperimentHarness::run_decode(const StackSpec& stack, std::size_t steps) {
+  const auto& trace = decode_trace(steps);
+  return serve_one_decode(build(stack), trace);
+}
+
 std::vector<Request> ExperimentHarness::materialize(
     std::span<const workload::RequestSpec> requests, std::size_t max_prefill_chunk) {
   return materialize_requests(generator_, requests, max_prefill_chunk);
@@ -138,10 +152,23 @@ ServeMetrics ExperimentHarness::serve(const core::HybriMoeConfig& config,
   return engine.run(materialize(requests, options.max_prefill_chunk), options);
 }
 
+ServeMetrics ExperimentHarness::serve(const StackSpec& stack,
+                                      std::span<const workload::RequestSpec> requests,
+                                      const ServeOptions& options) {
+  return serve(stack, materialize(requests, options.max_prefill_chunk), options);
+}
+
 ServeMetrics ExperimentHarness::serve(Framework framework,
                                       std::vector<Request> requests,
                                       const ServeOptions& options) {
   ServeEngine engine(build(framework));
+  return engine.run(std::move(requests), options);
+}
+
+ServeMetrics ExperimentHarness::serve(const StackSpec& stack,
+                                      std::vector<Request> requests,
+                                      const ServeOptions& options) {
+  ServeEngine engine(build(stack));
   return engine.run(std::move(requests), options);
 }
 

@@ -59,10 +59,14 @@ class ExperimentHarness {
   [[nodiscard]] const workload::PrefillTrace& prefill_trace(std::size_t tokens);
   [[nodiscard]] const workload::DecodeTrace& decode_trace(std::size_t steps);
 
-  /// Build a framework engine with this harness's warmup statistics.
+  /// Build a framework engine with this harness's warmup statistics. Every
+  /// Framework-taking runner below has a StackSpec twin, so declarative
+  /// stacks (parse_stack_spec, preset_spec mutations, --stacks flags) run
+  /// under exactly the fairness rules of the preset experiments.
   [[nodiscard]] std::unique_ptr<OffloadEngine> build(Framework framework) const;
   [[nodiscard]] std::unique_ptr<OffloadEngine> build(
       const core::HybriMoeConfig& config) const;
+  [[nodiscard]] std::unique_ptr<OffloadEngine> build(const StackSpec& spec) const;
 
   /// Switch the execution backend for subsequently built engines — the
   /// knob benches/tests turn to run the *same* harness traces through
@@ -78,6 +82,8 @@ class ExperimentHarness {
                                          std::size_t tokens);
   [[nodiscard]] StageMetrics run_decode(const core::HybriMoeConfig& config,
                                         std::size_t steps);
+  [[nodiscard]] StageMetrics run_prefill(const StackSpec& spec, std::size_t tokens);
+  [[nodiscard]] StageMetrics run_decode(const StackSpec& spec, std::size_t steps);
 
   // -- Request-level serving runners ---------------------------------------
   /// Materialise request traces deterministically from this harness's
@@ -96,8 +102,13 @@ class ExperimentHarness {
   [[nodiscard]] ServeMetrics serve(const core::HybriMoeConfig& config,
                                    std::span<const workload::RequestSpec> requests,
                                    const ServeOptions& options = {});
+  [[nodiscard]] ServeMetrics serve(const StackSpec& spec,
+                                   std::span<const workload::RequestSpec> requests,
+                                   const ServeOptions& options = {});
   /// Serve pre-materialised requests (from materialize()).
   [[nodiscard]] ServeMetrics serve(Framework framework, std::vector<Request> requests,
+                                   const ServeOptions& options = {});
+  [[nodiscard]] ServeMetrics serve(const StackSpec& spec, std::vector<Request> requests,
                                    const ServeOptions& options = {});
 
  private:

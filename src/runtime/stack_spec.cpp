@@ -1,0 +1,521 @@
+#include "runtime/stack_spec.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+#include <variant>
+#include <vector>
+
+#include "cache/mrs_policy.hpp"
+#include "core/prefetcher.hpp"
+#include "exec/executor.hpp"
+#include "runtime/stack_registry.hpp"
+#include "util/assert.hpp"
+#include "util/registry.hpp"
+
+namespace hybrimoe::runtime {
+
+namespace {
+
+[[noreturn]] void spec_error(std::size_t offset, const std::string& message) {
+  std::ostringstream os;
+  os << "stack spec error at offset " << offset << ": " << message;
+  throw std::invalid_argument(os.str());
+}
+
+// ---------------------------------------------------------------------------
+// JSON subset: objects, strings, numbers, booleans. No arrays, no null —
+// nothing in the spec grammar needs them, and every unsupported construct
+// fails with a position-stamped error instead of parsing loosely.
+// ---------------------------------------------------------------------------
+
+struct JsonValue;
+/// Insertion-ordered so error messages point at the offending source key.
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+struct JsonValue {
+  std::variant<std::string, double, bool, JsonObject> value;
+  std::size_t offset = 0;  ///< where this value started, for error messages
+
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(value); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<JsonObject>(value); }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] JsonValue parse_document() {
+    skip_whitespace();
+    if (at_end() || peek() != '{')
+      spec_error(pos_, "a stack spec must be a JSON object starting with '{'");
+    JsonValue value = parse_value();
+    skip_whitespace();
+    if (!at_end()) spec_error(pos_, "trailing characters after the spec object");
+    return value;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_whitespace() {
+    while (!at_end() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r'))
+      ++pos_;
+  }
+
+  void expect(char c, const char* what) {
+    if (at_end() || peek() != c)
+      spec_error(pos_, std::string("expected ") + what);
+    ++pos_;
+  }
+
+  [[nodiscard]] JsonValue parse_value() {
+    skip_whitespace();
+    if (at_end()) spec_error(pos_, "unexpected end of spec");
+    const std::size_t start = pos_;
+    const char c = peek();
+    if (c == '{') return {parse_object(), start};
+    if (c == '"') return {parse_string(), start};
+    if (c == 't' || c == 'f') return {parse_bool(), start};
+    if (c == '-' || (c >= '0' && c <= '9')) return {parse_number(), start};
+    spec_error(pos_, std::string("unexpected character '") + c +
+                         "' (expected an object, string, number or boolean)");
+  }
+
+  [[nodiscard]] JsonObject parse_object() {
+    expect('{', "'{'");
+    JsonObject object;
+    skip_whitespace();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    while (true) {
+      skip_whitespace();
+      const std::size_t key_offset = pos_;
+      if (at_end() || peek() != '"') spec_error(pos_, "expected a quoted key");
+      std::string key = parse_string();
+      for (const auto& [existing, value] : object)
+        if (existing == key)
+          spec_error(key_offset, "duplicate key '" + key + "'");
+      skip_whitespace();
+      expect(':', "':' after key");
+      object.emplace_back(std::move(key), parse_value());
+      skip_whitespace();
+      if (at_end()) spec_error(pos_, "unterminated object (missing '}')");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}', "',' or '}'");
+      return object;
+    }
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect('"', "'\"'");
+    std::string out;
+    while (true) {
+      if (at_end()) spec_error(pos_, "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (at_end()) spec_error(pos_, "unterminated escape");
+        const char e = text_[pos_++];
+        if (e == '"' || e == '\\' || e == '/') {
+          out.push_back(e);
+        } else {
+          spec_error(pos_ - 1, std::string("unsupported escape '\\") + e + "'");
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+  }
+
+  [[nodiscard]] bool parse_bool() {
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return false;
+    }
+    spec_error(pos_, "expected 'true' or 'false'");
+  }
+
+  [[nodiscard]] double parse_number() {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    auto digits = [&] {
+      const std::size_t before = pos_;
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+      return pos_ > before;
+    };
+    if (!digits()) spec_error(pos_, "malformed number");
+    if (!at_end() && peek() == '.') {
+      ++pos_;
+      if (!digits()) spec_error(pos_, "malformed number (digits required after '.')");
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digits()) spec_error(pos_, "malformed exponent");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return std::strtod(token.c_str(), nullptr);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// JsonValue -> StackSpec with per-object allowed-key checking.
+// ---------------------------------------------------------------------------
+
+[[noreturn]] void unknown_key(const JsonValue& value, std::string_view family,
+                              std::string_view key,
+                              const std::vector<std::string>& allowed) {
+  spec_error(value.offset, util::unknown_name_message(family, key, allowed));
+}
+
+const std::string& as_string(const JsonValue& v, const std::string& key) {
+  if (!v.is_string()) spec_error(v.offset, "'" + key + "' must be a string");
+  return std::get<std::string>(v.value);
+}
+
+double as_number(const JsonValue& v, const std::string& key) {
+  if (!std::holds_alternative<double>(v.value))
+    spec_error(v.offset, "'" + key + "' must be a number");
+  return std::get<double>(v.value);
+}
+
+bool as_bool(const JsonValue& v, const std::string& key) {
+  if (!std::holds_alternative<bool>(v.value))
+    spec_error(v.offset, "'" + key + "' must be true or false");
+  return std::get<bool>(v.value);
+}
+
+std::size_t as_count(const JsonValue& v, const std::string& key) {
+  const double d = as_number(v, key);
+  if (d < 0.0 || d != std::floor(d) || d > 9e15)
+    spec_error(v.offset, "'" + key + "' must be a non-negative integer");
+  return static_cast<std::size_t>(d);
+}
+
+/// "scheduler": "hybrid"  |  {"policy": "hybrid", "gpu_fraction": 0.5}
+SchedulerSpec parse_scheduler(const JsonValue& v) {
+  SchedulerSpec out;
+  if (v.is_string()) {
+    out.policy = std::get<std::string>(v.value);
+    return out;
+  }
+  if (!v.is_object()) spec_error(v.offset, "'scheduler' must be a string or an object");
+  static const std::vector<std::string> kKeys{"gpu_fraction", "policy"};
+  for (const auto& [key, value] : std::get<JsonObject>(v.value)) {
+    if (key == "policy") {
+      out.policy = as_string(value, key);
+    } else if (key == "gpu_fraction") {
+      out.gpu_fraction = as_number(value, key);
+    } else {
+      unknown_key(value, "scheduler option", key, kKeys);
+    }
+  }
+  return out;
+}
+
+/// "cache": "lru"  |  {"policy": "mrs", "ratio": 0.25, "alpha": 0.3, ...}
+CacheSpec parse_cache(const JsonValue& v) {
+  CacheSpec out;
+  if (v.is_string()) {
+    out.policy = std::get<std::string>(v.value);
+    return out;
+  }
+  if (!v.is_object()) spec_error(v.offset, "'cache' must be a string or an object");
+  static const std::vector<std::string> kKeys{"alpha", "policy", "ratio", "top_p_factor"};
+  for (const auto& [key, value] : std::get<JsonObject>(v.value)) {
+    if (key == "policy") {
+      out.policy = as_string(value, key);
+    } else if (key == "ratio") {
+      out.ratio = as_number(value, key);
+    } else if (key == "alpha") {
+      out.alpha = as_number(value, key);
+    } else if (key == "top_p_factor") {
+      out.top_p_factor = as_count(value, key);
+    } else {
+      unknown_key(value, "cache option", key, kKeys);
+    }
+  }
+  return out;
+}
+
+/// "prefetch": "impact"  |  {"policy": "impact", "depth": 3, ...}
+PrefetchSpec parse_prefetch(const JsonValue& v) {
+  PrefetchSpec out;
+  if (v.is_string()) {
+    out.policy = std::get<std::string>(v.value);
+    return out;
+  }
+  if (!v.is_object()) spec_error(v.offset, "'prefetch' must be a string or an object");
+  static const std::vector<std::string> kKeys{"confidence_decay", "depth",
+                                              "max_per_layer", "policy"};
+  for (const auto& [key, value] : std::get<JsonObject>(v.value)) {
+    if (key == "policy") {
+      out.policy = as_string(value, key);
+    } else if (key == "depth") {
+      out.depth = as_count(value, key);
+    } else if (key == "confidence_decay") {
+      out.confidence_decay = as_number(value, key);
+    } else if (key == "max_per_layer") {
+      out.max_per_layer = as_count(value, key);
+    } else {
+      unknown_key(value, "prefetch option", key, kKeys);
+    }
+  }
+  return out;
+}
+
+exec::ExecutionMode exec_from_name(const JsonValue& v) {
+  const std::string& name = as_string(v, "exec");
+  if (name == "simulated") return exec::ExecutionMode::Simulated;
+  if (name == "threaded") return exec::ExecutionMode::Threaded;
+  static const std::vector<std::string> kModes{"simulated", "threaded"};
+  spec_error(v.offset, util::unknown_name_message("execution mode", name, kModes));
+}
+
+// ---------------------------------------------------------------------------
+// Serialisation.
+// ---------------------------------------------------------------------------
+
+std::string quote(std::string_view s) { return json_quote(s); }
+
+/// Shortest decimal form that parses back to the same double, so the JSON
+/// round trip is exact without printing 17 digits for 0.25 (and integral
+/// values like 120 stay "120", not "1.2e+02").
+std::string format_number(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::ostringstream os;
+    os << std::setprecision(15) << std::fixed << v;
+    std::string s = os.str();
+    s.erase(s.find('.'));  // integral: drop the fractional zeros
+    if (std::strtod(s.c_str(), nullptr) == v) return s;
+  }
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::ostringstream os;
+    os << std::setprecision(precision) << v;
+    if (std::strtod(os.str().c_str(), nullptr) == v) return os.str();
+  }
+  HYBRIMOE_ASSERT(false, "a double must round-trip at 17 significant digits");
+}
+
+/// Appends ", \"key\": " (first field omits the comma).
+class FieldWriter {
+ public:
+  explicit FieldWriter(std::ostringstream& os) : os_(os) {}
+  std::ostringstream& field(const char* key) {
+    if (!first_) os_ << ", ";
+    first_ = false;
+    os_ << '"' << key << "\": ";
+    return os_;
+  }
+
+ private:
+  std::ostringstream& os_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+std::string json_quote(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+const char* to_string(WarmupSeeding w) {
+  switch (w) {
+    case WarmupSeeding::None: return "none";
+    case WarmupSeeding::Seeded: return "seeded";
+    case WarmupSeeding::Pinned: return "pinned";
+  }
+  HYBRIMOE_ASSERT(false, "unrepresentable WarmupSeeding value");
+}
+
+WarmupSeeding warmup_from_name(std::string_view name) {
+  if (name == "none") return WarmupSeeding::None;
+  if (name == "seeded") return WarmupSeeding::Seeded;
+  if (name == "pinned") return WarmupSeeding::Pinned;
+  static const std::vector<std::string> kNames{"none", "pinned", "seeded"};
+  throw std::invalid_argument(util::unknown_name_message("warmup seeding", name, kNames));
+}
+
+std::string StackSpec::default_name() const {
+  std::string out = scheduler.policy + "+" + cache.policy;
+  if (prefetch.policy != "none") out += "+" + prefetch.policy;
+  return out;
+}
+
+std::string StackSpec::display_name() const {
+  return name.empty() ? default_name() : name;
+}
+
+void StackSpec::validate() const {
+  // Component names resolve through the registries, so unknown names fail
+  // with the registry's did-you-mean message listing what is available.
+  (void)scheduler_registry().get(scheduler.policy);
+  (void)cache_policy_registry().get(cache.policy);
+  (void)prefetcher_registry().get(prefetch.policy);
+
+  if (scheduler.gpu_fraction.has_value()) {
+    HYBRIMOE_REQUIRE(scheduler.policy == "static-layer",
+                     "scheduler option 'gpu_fraction' only applies to policy "
+                     "'static-layer' (got '" + scheduler.policy + "')");
+    HYBRIMOE_REQUIRE(*scheduler.gpu_fraction >= 0.0 && *scheduler.gpu_fraction <= 1.0,
+                     "scheduler 'gpu_fraction' must be in [0, 1]");
+  }
+
+  if (cache.ratio.has_value())
+    HYBRIMOE_REQUIRE(*cache.ratio >= 0.0 && *cache.ratio <= 1.0,
+                     "cache 'ratio' must be in [0, 1]");
+  if (cache.alpha.has_value() || cache.top_p_factor.has_value()) {
+    HYBRIMOE_REQUIRE(cache.policy == "mrs",
+                     "cache options 'alpha'/'top_p_factor' only apply to policy "
+                     "'mrs' (got '" + cache.policy + "')");
+    cache::MrsPolicy::Params params;
+    if (cache.alpha.has_value()) params.alpha = *cache.alpha;
+    if (cache.top_p_factor.has_value()) params.top_p_factor = *cache.top_p_factor;
+    params.validate();
+  }
+
+  if (prefetch.depth.has_value() || prefetch.confidence_decay.has_value())
+    HYBRIMOE_REQUIRE(prefetch.policy == "impact",
+                     "prefetch options 'depth'/'confidence_decay' only apply to "
+                     "policy 'impact' (got '" + prefetch.policy + "')");
+  if (prefetch.max_per_layer.has_value())
+    HYBRIMOE_REQUIRE(prefetch.policy == "impact" || prefetch.policy == "next-layer",
+                     "prefetch option 'max_per_layer' requires a prefetching "
+                     "policy (got '" + prefetch.policy + "')");
+  if (prefetch.policy == "impact") {
+    core::ImpactDrivenPrefetcher::Params params;
+    if (prefetch.depth.has_value()) params.depth = *prefetch.depth;
+    if (prefetch.confidence_decay.has_value())
+      params.confidence_decay = *prefetch.confidence_decay;
+    if (prefetch.max_per_layer.has_value()) params.max_per_layer = *prefetch.max_per_layer;
+    params.validate();
+  } else if (prefetch.max_per_layer.has_value()) {
+    HYBRIMOE_REQUIRE(*prefetch.max_per_layer >= 1,
+                     "prefetch 'max_per_layer' must be >= 1");
+  }
+
+  if (overhead_us.has_value())
+    HYBRIMOE_REQUIRE(*overhead_us >= 0.0, "'overhead_us' must be >= 0");
+}
+
+StackSpec parse_stack_spec(std::string_view text) {
+  const JsonValue document = Parser(text).parse_document();
+  static const std::vector<std::string> kKeys{
+      "cache",          "cache_maintenance", "dynamic_inserts", "exec",
+      "name",           "overhead_us",       "prefetch",        "scheduler",
+      "update_scores",  "warmup"};
+
+  StackSpec spec;
+  for (const auto& [key, value] : std::get<JsonObject>(document.value)) {
+    if (key == "name") {
+      spec.name = as_string(value, key);
+    } else if (key == "scheduler") {
+      spec.scheduler = parse_scheduler(value);
+    } else if (key == "cache") {
+      spec.cache = parse_cache(value);
+    } else if (key == "prefetch") {
+      spec.prefetch = parse_prefetch(value);
+    } else if (key == "dynamic_inserts") {
+      spec.dynamic_cache_inserts = as_bool(value, key);
+    } else if (key == "update_scores") {
+      spec.update_policy_scores = as_bool(value, key);
+    } else if (key == "cache_maintenance") {
+      spec.cache_maintenance = as_bool(value, key);
+    } else if (key == "overhead_us") {
+      spec.overhead_us = as_number(value, key);
+    } else if (key == "warmup") {
+      try {
+        spec.warmup = warmup_from_name(as_string(value, key));
+      } catch (const std::invalid_argument& e) {
+        spec_error(value.offset, e.what());
+      }
+    } else if (key == "exec") {
+      spec.execution = exec_from_name(value);
+    } else {
+      unknown_key(value, "spec key", key, kKeys);
+    }
+  }
+  return spec;
+}
+
+std::string to_json(const StackSpec& spec) {
+  std::ostringstream os;
+  os << "{";
+  FieldWriter w(os);
+
+  if (!spec.name.empty()) w.field("name") << quote(spec.name);
+
+  if (spec.scheduler.gpu_fraction.has_value()) {
+    w.field("scheduler") << "{\"policy\": " << quote(spec.scheduler.policy)
+                         << ", \"gpu_fraction\": "
+                         << format_number(*spec.scheduler.gpu_fraction) << "}";
+  } else {
+    w.field("scheduler") << quote(spec.scheduler.policy);
+  }
+
+  const bool cache_policy_only = !spec.cache.ratio.has_value() &&
+                                 !spec.cache.alpha.has_value() &&
+                                 !spec.cache.top_p_factor.has_value();
+  if (cache_policy_only) {
+    w.field("cache") << quote(spec.cache.policy);
+  } else {
+    w.field("cache") << "{\"policy\": " << quote(spec.cache.policy);
+    if (spec.cache.ratio.has_value())
+      os << ", \"ratio\": " << format_number(*spec.cache.ratio);
+    if (spec.cache.alpha.has_value())
+      os << ", \"alpha\": " << format_number(*spec.cache.alpha);
+    if (spec.cache.top_p_factor.has_value())
+      os << ", \"top_p_factor\": " << *spec.cache.top_p_factor;
+    os << "}";
+  }
+
+  const bool prefetch_policy_only = !spec.prefetch.depth.has_value() &&
+                                    !spec.prefetch.confidence_decay.has_value() &&
+                                    !spec.prefetch.max_per_layer.has_value();
+  if (prefetch_policy_only) {
+    w.field("prefetch") << quote(spec.prefetch.policy);
+  } else {
+    w.field("prefetch") << "{\"policy\": " << quote(spec.prefetch.policy);
+    if (spec.prefetch.depth.has_value()) os << ", \"depth\": " << *spec.prefetch.depth;
+    if (spec.prefetch.confidence_decay.has_value())
+      os << ", \"confidence_decay\": " << format_number(*spec.prefetch.confidence_decay);
+    if (spec.prefetch.max_per_layer.has_value())
+      os << ", \"max_per_layer\": " << *spec.prefetch.max_per_layer;
+    os << "}";
+  }
+
+  w.field("dynamic_inserts") << (spec.dynamic_cache_inserts ? "true" : "false");
+  w.field("update_scores") << (spec.update_policy_scores ? "true" : "false");
+  w.field("cache_maintenance") << (spec.cache_maintenance ? "true" : "false");
+  if (spec.overhead_us.has_value())
+    w.field("overhead_us") << format_number(*spec.overhead_us);
+  w.field("warmup") << quote(to_string(spec.warmup));
+  if (spec.execution.has_value())
+    w.field("exec") << quote(exec::to_string(*spec.execution));
+
+  os << "}";
+  return os.str();
+}
+
+}  // namespace hybrimoe::runtime

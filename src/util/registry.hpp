@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file registry.hpp
+/// Generic string-keyed registry used by the runtime configuration layer
+/// (runtime/stack_registry.hpp): component factories self-register under a
+/// name, and lookups of unknown names fail with a did-you-mean error that
+/// lists every registered name. Header-only and deliberately tiny — a
+/// std::map with opinionated error messages, not a plugin system.
+///
+/// Lifetime: registries are function-local statics owned by their accessor
+/// (constructed on first use, alive for the rest of the process). Entries
+/// are never removed; re-registering a taken name throws, so a typo in a
+/// registration site fails loudly at startup instead of shadowing a
+/// component.
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace hybrimoe::util {
+
+/// Levenshtein edit distance — the scorer behind did-you-mean suggestions.
+[[nodiscard]] inline std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];  // d[i-1][j-1]
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t above = row[j];  // d[i-1][j]
+      const std::size_t substitute = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j - 1] + 1, above + 1, substitute});
+      diagonal = above;
+    }
+  }
+  return row[b.size()];
+}
+
+/// Closest candidate to `key`, or empty when nothing is close enough to be a
+/// plausible typo (distance must stay within roughly a third of the key).
+[[nodiscard]] inline std::string closest_name(std::string_view key,
+                                              const std::vector<std::string>& names) {
+  std::string best;
+  std::size_t best_distance = std::max<std::size_t>(2, key.size() / 3) + 1;
+  for (const std::string& name : names) {
+    const std::size_t d = edit_distance(key, name);
+    if (d < best_distance) {
+      best_distance = d;
+      best = name;
+    }
+  }
+  return best;
+}
+
+/// "unknown scheduler 'hybird' — did you mean 'hybrid'? (registered: ...)"
+[[nodiscard]] inline std::string unknown_name_message(
+    std::string_view family, std::string_view key,
+    const std::vector<std::string>& names) {
+  std::ostringstream os;
+  os << "unknown " << family << " '" << key << "'";
+  const std::string suggestion = closest_name(key, names);
+  if (!suggestion.empty()) os << " — did you mean '" << suggestion << "'?";
+  os << " (registered: ";
+  for (std::size_t i = 0; i < names.size(); ++i)
+    os << (i ? ", " : "") << "'" << names[i] << "'";
+  os << ")";
+  return os.str();
+}
+
+/// String-keyed registry of one component family. `Value` is typically a
+/// factory (std::function) but any copyable value works — the Framework
+/// preset registry stores plain enum values.
+template <typename Value>
+class Registry {
+ public:
+  /// `family` names the component kind in error messages ("scheduler",
+  /// "cache policy", ...).
+  explicit Registry(std::string family) : family_(std::move(family)) {}
+
+  /// Register `value` under `name`. Throws std::invalid_argument on an empty
+  /// or already-taken name — duplicate registrations are always a bug.
+  void add(std::string name, Value value) {
+    HYBRIMOE_REQUIRE(!name.empty(), family_ + " name must be non-empty");
+    const auto [it, inserted] = entries_.emplace(std::move(name), std::move(value));
+    HYBRIMOE_REQUIRE(inserted, family_ + " '" + it->first + "' is already registered");
+  }
+
+  [[nodiscard]] bool contains(std::string_view name) const {
+    return entries_.find(name) != entries_.end();
+  }
+
+  /// Look up `name`; unknown names throw std::invalid_argument with a
+  /// did-you-mean suggestion and the full registered-name list.
+  [[nodiscard]] const Value& get(std::string_view name) const {
+    const auto it = entries_.find(name);
+    if (it == entries_.end())
+      throw std::invalid_argument(unknown_name_message(family_, name, names()));
+    return it->second;
+  }
+
+  /// Every registered name, sorted (map order).
+  [[nodiscard]] std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, value] : entries_) out.push_back(name);
+    return out;
+  }
+
+  [[nodiscard]] const std::string& family() const noexcept { return family_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::string family_;
+  std::map<std::string, Value, std::less<>> entries_;  ///< heterogeneous lookup
+};
+
+}  // namespace hybrimoe::util

@@ -1,0 +1,71 @@
+#include "util/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hybrimoe::util {
+namespace {
+
+TEST(EditDistanceTest, ClassicCases) {
+  EXPECT_EQ(edit_distance("", ""), 0U);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0U);
+  EXPECT_EQ(edit_distance("abc", ""), 3U);
+  EXPECT_EQ(edit_distance("", "abc"), 3U);
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3U);
+  EXPECT_EQ(edit_distance("hybird", "hybrid"), 2U);  // transposition = 2 edits
+  EXPECT_EQ(edit_distance("lru", "mrs"), 2U);
+}
+
+TEST(ClosestNameTest, PicksNearestWithinBudget) {
+  const std::vector<std::string> names{"hybrid", "fixed-map", "gpu-centric"};
+  EXPECT_EQ(closest_name("hybird", names), "hybrid");
+  EXPECT_EQ(closest_name("fixed-mop", names), "fixed-map");
+  // Nothing plausible: distance exceeds the typo budget.
+  EXPECT_EQ(closest_name("belady", names), "");
+}
+
+TEST(UnknownNameMessageTest, MentionsSuggestionAndCatalog) {
+  const std::vector<std::string> names{"impact", "next-layer", "none"};
+  const std::string msg = unknown_name_message("prefetcher", "impct", names);
+  EXPECT_NE(msg.find("unknown prefetcher 'impct'"), std::string::npos);
+  EXPECT_NE(msg.find("did you mean 'impact'?"), std::string::npos);
+  EXPECT_NE(msg.find("'next-layer'"), std::string::npos);
+  EXPECT_NE(msg.find("'none'"), std::string::npos);
+}
+
+TEST(RegistryTest, AddGetContainsNames) {
+  Registry<int> registry("widget");
+  registry.add("beta", 2);
+  registry.add("alpha", 1);
+  EXPECT_TRUE(registry.contains("alpha"));
+  EXPECT_FALSE(registry.contains("gamma"));
+  EXPECT_EQ(registry.get("alpha"), 1);
+  EXPECT_EQ(registry.get("beta"), 2);
+  EXPECT_EQ(registry.size(), 2U);
+  EXPECT_EQ(registry.names(), (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(registry.family(), "widget");
+}
+
+TEST(RegistryTest, DuplicateAndEmptyNamesThrow) {
+  Registry<int> registry("widget");
+  registry.add("alpha", 1);
+  EXPECT_THROW(registry.add("alpha", 2), std::invalid_argument);
+  EXPECT_THROW(registry.add("", 3), std::invalid_argument);
+}
+
+TEST(RegistryTest, UnknownNameThrowsDidYouMean) {
+  Registry<int> registry("widget");
+  registry.add("alpha", 1);
+  registry.add("align", 2);
+  try {
+    (void)registry.get("alpa");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown widget 'alpa'"), std::string::npos);
+    EXPECT_NE(msg.find("did you mean 'alpha'?"), std::string::npos);
+    EXPECT_NE(msg.find("'align'"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hybrimoe::util

@@ -1,0 +1,268 @@
+/// \file hybrimoe_run.cpp
+/// Serve a request stream with any declarative stack — the CLI face of the
+/// StackSpec API. The stack comes from a preset name, an inline JSON spec
+/// or a spec file; the tool materialises a seeded request stream, serves it
+/// with continuous batching and reports the request-level serving metrics
+/// (TTFT/TBT tails, throughput, goodput under a TBT SLO).
+///
+///   hybrimoe_run HybriMoE --requests 16 --rate 2
+///   hybrimoe_run '{"scheduler": "hybrid", "cache": "lru", "prefetch": "none"}'
+///   hybrimoe_run @examples/stacks/hybrid_lru.json --model qwen2 --json out.json
+///
+/// `--list-stacks` prints the registered presets and component families;
+/// `--print-spec` echoes the canonical JSON of the resolved stack (useful as
+/// a starting point for a custom spec file). Exit codes: 0 success, 2 usage
+/// or spec error.
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/session.hpp"
+#include "runtime/stack_registry.hpp"
+#include "util/table.hpp"
+#include "workload/request_stream.hpp"
+
+namespace {
+
+using namespace hybrimoe;
+
+constexpr const char* kUsage = R"(usage: hybrimoe_run [stack] [options]
+
+  stack                 preset name (see --list-stacks), inline JSON spec
+                        ('{...}'), or @path to a spec file
+                        (default: HybriMoE)
+
+options:
+  --model NAME          deepseek | qwen2 | mixtral | tiny   (default deepseek)
+  --cache-ratio R       GPU expert cache ratio in [0,1]     (default 0.25)
+  --requests N          number of requests in the stream    (default 12)
+  --rate R              mean arrival rate, requests/second  (default 1.0)
+  --burst               burst arrivals instead of Poisson
+  --seed N              stream + trace seed                 (default 42)
+  --max-batch N         continuous-batching admission cap   (default 8)
+  --chunk N             max prefill chunk tokens, 0 = whole (default 0)
+  --slo S               TBT SLO in seconds for goodput      (default 0.1)
+  --json PATH           write a machine-readable summary
+  --print-spec          echo the canonical spec JSON and exit
+  --list-stacks         list presets and registered components, then exit
+  --help                this text
+)";
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "hybrimoe_run: " << message << "\n" << kUsage;
+  std::exit(2);
+}
+
+moe::ModelConfig model_from_name(const std::string& name) {
+  if (name == "deepseek") return moe::ModelConfig::deepseek();
+  if (name == "qwen2") return moe::ModelConfig::qwen2();
+  if (name == "mixtral") return moe::ModelConfig::mixtral();
+  if (name == "tiny") return moe::ModelConfig::tiny();
+  throw std::invalid_argument(util::unknown_name_message(
+      "model", name, {"deepseek", "mixtral", "qwen2", "tiny"}));
+}
+
+struct Options {
+  std::string stack_arg = "HybriMoE";
+  std::string model = "deepseek";
+  double cache_ratio = 0.25;
+  std::size_t requests = 12;
+  double rate = 1.0;
+  bool burst = false;
+  std::uint64_t seed = 42;
+  std::size_t max_batch = 8;
+  std::size_t chunk = 0;
+  double slo = 0.1;
+  std::string json_path;
+  bool print_spec = false;
+};
+
+Options parse_options(int argc, char** argv) {
+  Options opts;
+  bool stack_set = false;
+  auto next = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc) usage_error(std::string(flag) + " requires an argument");
+    return argv[++i];
+  };
+  // Numeric flags: a malformed value is a usage error (exit 2), not an
+  // uncaught std::sto* exception.
+  auto numeric = [&](const char* flag, const std::string& value, auto parse) {
+    try {
+      std::size_t consumed = 0;
+      const auto parsed = parse(value, &consumed);
+      if (consumed != value.size()) throw std::invalid_argument(value);
+      return parsed;
+    } catch (const std::exception&) {
+      usage_error(std::string(flag) + " got non-numeric value '" + value + "'");
+    }
+  };
+  auto to_double = [&](const char* flag, const std::string& v) {
+    return numeric(flag, v, [](const std::string& s, std::size_t* n) {
+      return std::stod(s, n);
+    });
+  };
+  auto to_count = [&](const char* flag, const std::string& v) -> std::size_t {
+    return numeric(flag, v, [](const std::string& s, std::size_t* n) {
+      return std::stoul(s, n);
+    });
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      std::exit(0);
+    } else if (arg == "--list-stacks") {
+      runtime::print_stack_catalog(std::cout);
+      std::exit(0);
+    } else if (arg == "--print-spec") {
+      opts.print_spec = true;
+    } else if (arg == "--burst") {
+      opts.burst = true;
+    } else if (arg == "--model") {
+      opts.model = next(i, "--model");
+    } else if (arg == "--cache-ratio") {
+      opts.cache_ratio = to_double("--cache-ratio", next(i, "--cache-ratio"));
+    } else if (arg == "--requests") {
+      opts.requests = to_count("--requests", next(i, "--requests"));
+    } else if (arg == "--rate") {
+      opts.rate = to_double("--rate", next(i, "--rate"));
+    } else if (arg == "--seed") {
+      opts.seed = numeric("--seed", next(i, "--seed"),
+                          [](const std::string& s, std::size_t* n) {
+                            return std::stoull(s, n);
+                          });
+    } else if (arg == "--max-batch") {
+      opts.max_batch = to_count("--max-batch", next(i, "--max-batch"));
+    } else if (arg == "--chunk") {
+      opts.chunk = to_count("--chunk", next(i, "--chunk"));
+    } else if (arg == "--slo") {
+      opts.slo = to_double("--slo", next(i, "--slo"));
+    } else if (arg == "--json") {
+      opts.json_path = next(i, "--json");
+    } else if (arg == "--stack") {
+      opts.stack_arg = next(i, "--stack");
+      stack_set = true;
+    } else if (!arg.empty() && arg.front() == '-') {
+      usage_error("unknown option '" + arg + "'");
+    } else if (!stack_set) {
+      opts.stack_arg = arg;
+      stack_set = true;
+    } else {
+      usage_error("unexpected argument '" + arg + "'");
+    }
+  }
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts = parse_options(argc, argv);
+
+  runtime::StackSpec stack;
+  try {
+    stack = runtime::resolve_stack(opts.stack_arg);
+    stack.validate();
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "hybrimoe_run: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (opts.print_spec) {
+    std::cout << runtime::to_json(stack) << "\n";
+    return 0;
+  }
+
+  try {
+    runtime::ExperimentSpec spec;
+    spec.model = model_from_name(opts.model);
+    spec.machine = hw::MachineProfile::a6000_xeon10();
+    spec.cache_ratio = opts.cache_ratio;
+    spec.trace.seed = opts.seed;
+    runtime::ExperimentHarness harness(spec);
+
+    workload::RequestStreamParams stream;
+    stream.num_requests = opts.requests;
+    stream.arrival_rate = opts.rate;
+    stream.process = opts.burst ? workload::ArrivalProcess::Burst
+                                : workload::ArrivalProcess::Poisson;
+    stream.seed = opts.seed;
+    const auto request_specs = workload::generate_request_stream(stream);
+
+    runtime::ServeOptions serve_options;
+    serve_options.max_batch = opts.max_batch;
+    serve_options.max_prefill_chunk = opts.chunk;
+
+    std::cout << "stack   : " << stack.display_name() << "\n"
+              << "spec    : " << runtime::to_json(stack) << "\n"
+              << "model   : " << spec.model.name << " @ "
+              << opts.cache_ratio * 100 << "% cache, machine "
+              << spec.machine.name << "\n"
+              << "stream  : " << opts.requests << " requests, "
+              << to_string(stream.process) << " arrivals @ " << opts.rate
+              << " req/s, seed " << opts.seed << "\n\n";
+
+    const auto metrics = harness.serve(stack, request_specs, serve_options);
+
+    const auto ttft = metrics.ttft_tails();
+    const auto tbt = metrics.tbt_tails();
+    util::TextTable table("serving results — " + stack.display_name());
+    table.set_headers({"metric", "value"});
+    auto row = [&table](const std::string& k, const std::string& v) {
+      table.begin_row().add_cell(k).add_cell(v);
+    };
+    row("requests finished", std::to_string(metrics.requests.size()));
+    row("output tokens", std::to_string(metrics.total_generated_tokens()));
+    row("makespan", util::format_seconds(metrics.makespan));
+    row("throughput", util::format_double(metrics.throughput(), 2) + " tok/s");
+    row("goodput (p95 TBT <= " + util::format_seconds(opts.slo) + ")",
+        util::format_double(metrics.goodput(opts.slo), 2) + " tok/s");
+    row("TTFT p50/p95/p99", util::format_seconds(ttft.p50) + " / " +
+                                util::format_seconds(ttft.p95) + " / " +
+                                util::format_seconds(ttft.p99));
+    row("TBT p50/p95/p99", util::format_seconds(tbt.p50) + " / " +
+                               util::format_seconds(tbt.p95) + " / " +
+                               util::format_seconds(tbt.p99));
+    row("cache hit rate",
+        util::format_double(metrics.steps.cache.hit_rate() * 100.0, 1) + "%");
+    row("transfers / prefetches / maintenance",
+        std::to_string(metrics.steps.transfers) + " / " +
+            std::to_string(metrics.steps.prefetches) + " / " +
+            std::to_string(metrics.steps.maintenance));
+    table.print(std::cout);
+
+    if (!opts.json_path.empty()) {
+      std::ofstream json(opts.json_path);
+      if (!json) {
+        std::cerr << "hybrimoe_run: cannot write '" << opts.json_path << "'\n";
+        return 2;
+      }
+      json << "{\n  \"tool\": \"hybrimoe_run\",\n  \"stack\": "
+           << runtime::json_quote(stack.display_name())
+           << ",\n  \"spec\": " << runtime::to_json(stack)
+           << ",\n  \"model\": \"" << spec.model.name
+           << "\",\n  \"cache_ratio\": " << opts.cache_ratio
+           << ",\n  \"requests\": " << metrics.requests.size()
+           << ",\n  \"output_tokens\": " << metrics.total_generated_tokens()
+           << ",\n  \"makespan_s\": " << metrics.makespan
+           << ",\n  \"throughput_tok_s\": " << metrics.throughput()
+           << ",\n  \"goodput_tok_s\": " << metrics.goodput(opts.slo)
+           << ",\n  \"tbt_slo_s\": " << opts.slo
+           << ",\n  \"ttft_p50_s\": " << ttft.p50 << ",\n  \"ttft_p95_s\": "
+           << ttft.p95 << ",\n  \"ttft_p99_s\": " << ttft.p99
+           << ",\n  \"tbt_p50_s\": " << tbt.p50 << ",\n  \"tbt_p95_s\": " << tbt.p95
+           << ",\n  \"tbt_p99_s\": " << tbt.p99
+           << ",\n  \"cache_hit_rate\": " << metrics.steps.cache.hit_rate()
+           << "\n}\n";
+      std::cout << "\nWrote " << opts.json_path << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "hybrimoe_run: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
