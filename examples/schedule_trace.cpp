@@ -43,7 +43,7 @@ int main() {
       table.begin_row()
           .add_cell(names[t.expert.expert])
           .add_cell(std::to_string(t.load))
-          .add_cell(t.device == sched::ComputeDevice::Cpu ? "CPU" : "GPU")
+          .add_cell(t.device == sched::kCpuDevice ? "CPU" : "GPU")
           .add_cell(t.transferred ? "yes" : "no")
           .add_cell(t.start, 2)
           .add_cell(t.end, 2);

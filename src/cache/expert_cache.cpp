@@ -30,6 +30,11 @@ bool ExpertCache::lookup(moe::ExpertId id) {
   return hit;
 }
 
+void ExpertCache::record_miss(moe::ExpertId id) {
+  policy_->on_reference(id);
+  ++stats_.misses;
+}
+
 std::vector<moe::ExpertId> ExpertCache::evictable(
     std::span<const moe::ExpertId> extra_protected) const {
   std::vector<moe::ExpertId> out;

@@ -1,12 +1,16 @@
 #pragma once
 
 /// \file expert_cache.hpp
-/// The GPU expert cache: a bounded set of (layer, expert) entries managed by
-/// a pluggable replacement policy. Capacity is counted in routed experts —
-/// the paper's "GPU expert cache ratio" of r means capacity =
-/// r * num_layers * num_routed_experts. Shared experts are permanent GPU
-/// residents outside this budget; *pinned* entries (kTransformers-style
-/// static placement) live inside the budget but are never evicted.
+/// The accelerator expert cache: a bounded set of (layer, expert) entries
+/// managed by a pluggable replacement policy. One ExpertCache models one
+/// device's residency; a multi-accelerator engine owns one cache per device
+/// (with MRS score tables shared across them — see MrsPolicy::share_table)
+/// and splits the capacity budget by the topology's cache shares. Capacity
+/// is counted in routed experts — the paper's "GPU expert cache ratio" of r
+/// means total capacity = r * num_layers * num_routed_experts. Shared
+/// experts are permanent GPU residents outside this budget; *pinned* entries
+/// (kTransformers-style static placement) live inside the budget but are
+/// never evicted.
 
 #include <memory>
 #include <optional>
@@ -64,6 +68,11 @@ class ExpertCache {
   /// Record a lookup for an expert the current layer activated. Returns true
   /// on hit. Updates policy recency/frequency state and the statistics.
   bool lookup(moe::ExpertId id);
+
+  /// Record a miss without probing residency — the multi-device engine
+  /// resolves residency across per-device caches first, then charges the
+  /// miss to exactly one cache. Equivalent to a lookup() that misses.
+  void record_miss(moe::ExpertId id);
 
   /// Non-recording residency probe (used by schedulers building demands
   /// after lookups were already counted).

@@ -14,7 +14,17 @@ void MrsPolicy::Params::validate() const {
 
 MrsPolicy::MrsPolicy() : MrsPolicy(Params{}) {}
 
-MrsPolicy::MrsPolicy(Params params) : params_(params) { params_.validate(); }
+MrsPolicy::MrsPolicy(Params params)
+    : MrsPolicy(params, std::make_shared<ScoreTable>()) {}
+
+MrsPolicy::MrsPolicy(Params params, std::shared_ptr<ScoreTable> table)
+    : params_(params), scores_(std::move(table)) {
+  params_.validate();
+}
+
+std::unique_ptr<MrsPolicy> MrsPolicy::share_table() const {
+  return std::unique_ptr<MrsPolicy>(new MrsPolicy(params_, scores_));
+}
 
 void MrsPolicy::on_scores(std::uint16_t layer, std::span<const float> scores,
                           std::size_t top_k) {
@@ -42,7 +52,7 @@ void MrsPolicy::on_scores(std::uint16_t layer, std::span<const float> scores,
     }
     const double contribution = in_top_p ? static_cast<double>(scores[e]) : 0.0;
     const moe::ExpertId id{layer, static_cast<std::uint16_t>(e)};
-    auto [it, inserted] = scores_.try_emplace(id, 0.0);
+    auto [it, inserted] = scores_->try_emplace(id, 0.0);
     it->second = params_.alpha * contribution + (1.0 - params_.alpha) * it->second;
   }
 }
@@ -62,8 +72,8 @@ moe::ExpertId MrsPolicy::choose_victim(std::span<const moe::ExpertId> candidates
 }
 
 double MrsPolicy::score(moe::ExpertId id) const {
-  const auto it = scores_.find(id);
-  return it != scores_.end() ? it->second : 0.0;
+  const auto it = scores_->find(id);
+  return it != scores_->end() ? it->second : 0.0;
 }
 
 }  // namespace hybrimoe::cache

@@ -14,6 +14,7 @@
 /// Eviction removes the resident entry with the smallest S.
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 
 #include "cache/policy.hpp"
@@ -22,14 +23,23 @@ namespace hybrimoe::cache {
 
 class MrsPolicy final : public CachePolicy {
  public:
+  /// Tunable parameters of Eq. 3.
   struct Params {
     double alpha = 0.3;          ///< EMA coefficient of Eq. 3
     std::size_t top_p_factor = 2; ///< p = top_p_factor * top_k
+    /// Throws std::invalid_argument on out-of-range parameters.
     void validate() const;
   };
 
   MrsPolicy();  // default parameters
   explicit MrsPolicy(Params params);
+
+  /// Create a policy instance backed by this instance's score table. The
+  /// per-device expert caches of one engine each own a policy but share one
+  /// Eq. 3 table — routing scores are device-independent, so a single score
+  /// feed (to the primary cache) keeps every device's eviction ranking
+  /// consistent. Sharing across engines is not supported.
+  [[nodiscard]] std::unique_ptr<MrsPolicy> share_table() const;
 
   [[nodiscard]] std::string name() const override { return "MRS"; }
   [[nodiscard]] const Params& params() const noexcept { return params_; }
@@ -50,8 +60,12 @@ class MrsPolicy final : public CachePolicy {
   [[nodiscard]] double priority(moe::ExpertId id) const override { return score(id); }
 
  private:
+  using ScoreTable = std::unordered_map<moe::ExpertId, double>;
+  MrsPolicy(Params params, std::shared_ptr<ScoreTable> table);
+
   Params params_;
-  std::unordered_map<moe::ExpertId, double> scores_;
+  /// Shared across per-device instances created via share_table().
+  std::shared_ptr<ScoreTable> scores_;
 };
 
 }  // namespace hybrimoe::cache

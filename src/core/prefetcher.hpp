@@ -11,7 +11,10 @@
 ///  * ImpactDrivenPrefetcher — the paper's contribution: before committing a
 ///    prefetch, *simulate* the target layer's schedule with and without the
 ///    candidate resident and rank candidates by discounted makespan
-///    reduction;
+///    reduction (on multi-device topologies the counterfactual assumes
+///    primary-device residency and link-0 transfer cost — a documented
+///    approximation; the engine routes the actual upload to the least-busy
+///    link);
 ///  * NextLayerTopPrefetcher — the AdapMoE-style baseline: upload the
 ///    highest-score predicted experts of the next layer, no simulation.
 

@@ -53,7 +53,9 @@ struct HybridExecutor::LayerBoard {
   std::condition_variable cv;
   std::vector<char> done;                 ///< per plan-task completion flag
   std::size_t cpu_remaining = 0;
+  std::size_t lanes_remaining = 0;        ///< extra accelerator lanes in flight
   std::vector<CpuTask> cpu;               ///< CPU lane, plan start order
+  const sched::LayerPlan* plan = nullptr; ///< the plan being executed
   std::span<const float> input;           ///< layer input (stable in the store)
   std::vector<std::vector<float>> slots;  ///< per plan-task expert outputs
   bool compute = true;
@@ -66,9 +68,14 @@ HybridExecutor::HybridExecutor(ExecOptions options)
 
 HybridExecutor::~HybridExecutor() = default;
 
-void HybridExecutor::ensure_started() {
+void HybridExecutor::ensure_started(std::size_t num_links, std::size_t num_lanes) {
   if (!pool_) pool_ = std::make_unique<ThreadPool>(options_.workers);
-  if (!copier_) copier_ = std::make_unique<CopyEngine>();
+  while (copiers_.size() < num_links) {
+    copy_scratch_.push_back(std::make_unique<std::vector<float>>());
+    copiers_.push_back(std::make_unique<CopyEngine>());
+  }
+  while (gpu_lanes_.size() < num_lanes)
+    gpu_lanes_.push_back(std::make_unique<CopyEngine>());
 }
 
 void HybridExecutor::begin_step() {
@@ -81,10 +88,14 @@ StepResult HybridExecutor::end_step() {
   HYBRIMOE_REQUIRE(in_step_, "end_step without begin_step");
   in_step_ = false;
   // Stragglers (prefetch/maintenance copies) drain outside the measurement,
-  // mirroring the simulator's per-step PCIe carry reset.
-  if (copier_) {
-    copier_->drain();
-    copier_->rethrow_pending_error();
+  // mirroring the simulator's per-step per-link carry reset.
+  for (const auto& copier : copiers_) {
+    copier->drain();
+    copier->rethrow_pending_error();
+  }
+  for (const auto& lane : gpu_lanes_) {
+    lane->drain();
+    lane->rethrow_pending_error();
   }
   if (pool_) pool_->rethrow_pending_error();
   return step_;
@@ -97,7 +108,8 @@ void HybridExecutor::abort_step() noexcept {
   // (see run_cpu_chain / the transfer jobs), so these waits terminate.
   try {
     if (pool_) pool_->wait_idle();
-    if (copier_) copier_->drain();
+    for (const auto& lane : gpu_lanes_) lane->drain();
+    for (const auto& copier : copiers_) copier->drain();
   } catch (...) {  // wait/drain do not throw in practice; stay noexcept
   }
   // Discard pending task errors — the abort cause is already propagating.
@@ -105,9 +117,17 @@ void HybridExecutor::abort_step() noexcept {
     if (pool_) pool_->rethrow_pending_error();
   } catch (...) {
   }
-  try {
-    if (copier_) copier_->rethrow_pending_error();
-  } catch (...) {
+  for (const auto& copier : copiers_) {
+    try {
+      copier->rethrow_pending_error();
+    } catch (...) {
+    }
+  }
+  for (const auto& lane : gpu_lanes_) {
+    try {
+      lane->rethrow_pending_error();
+    } catch (...) {
+    }
   }
   step_ = StepResult{};
 }
@@ -125,10 +145,10 @@ void HybridExecutor::pace_dense(double modeled_seconds) {
                     options_.time_scale;
 }
 
-void HybridExecutor::copy_blob(moe::ExpertId id) {
+void HybridExecutor::copy_blob(moe::ExpertId id, std::vector<float>& scratch) {
   const kernels::ExpertWeights& w = store_.weights(id);
-  if (copy_scratch_.size() < w.blob_floats()) copy_scratch_.resize(w.blob_floats());
-  (void)w.copy_blob_to(copy_scratch_);
+  if (scratch.size() < w.blob_floats()) scratch.resize(w.blob_floats());
+  (void)w.copy_blob_to(scratch);
 }
 
 void HybridExecutor::run_cpu_chain(const std::shared_ptr<LayerBoard>& board,
@@ -198,14 +218,54 @@ LayerResult HybridExecutor::execute_layer_reference(const sched::LayerPlan& plan
   return result;
 }
 
+void HybridExecutor::run_gpu_lane(const std::shared_ptr<LayerBoard>& board,
+                                  std::vector<std::size_t> order,
+                                  double dense_seconds) {
+  const auto& tasks = board->plan->tasks;
+  const double scale = options_.time_scale;
+  // Publish lane completion even if a kernel throws — the engine thread is
+  // blocked on lanes_remaining; the error surfaces at the lane's
+  // rethrow_pending_error (end_step).
+  std::exception_ptr error;
+  {
+    const auto t0 = PaceClock::now();
+    sleep_until_paced(t0 + scaled_duration(dense_seconds, scale));
+  }
+  for (const std::size_t i : order) {
+    if (tasks[i].transferred) {
+      std::unique_lock lock(board->m);
+      board->cv.wait(lock, [&board, i] { return board->done[i] != 0; });
+    }
+    const auto t0 = PaceClock::now();
+    if (board->compute && !error) {
+      try {
+        board->slots[i] =
+            kernels::expert_forward(store_.weights(tasks[i].expert), board->input);
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    sleep_until_paced(t0 + scaled_duration(tasks[i].end - tasks[i].start, scale));
+  }
+  {
+    std::lock_guard lock(board->m);
+    --board->lanes_remaining;
+    board->cv.notify_all();
+  }
+  if (error) std::rethrow_exception(error);  // recorded by the lane's loop
+}
+
 LayerResult HybridExecutor::execute_layer(const sched::LayerPlan& plan, double overhead,
-                                          std::span<const moe::ExpertId> async_copies,
-                                          double async_copy_seconds) {
+                                          std::span<const AsyncCopy> async_copies) {
   HYBRIMOE_REQUIRE(in_step_, "execute_layer outside a step");
   HYBRIMOE_REQUIRE(!plan.tasks.empty(), "cannot execute an empty plan");
   HYBRIMOE_REQUIRE(overhead >= 0.0, "layer overhead must be non-negative");
-  HYBRIMOE_REQUIRE(async_copy_seconds >= 0.0, "copy duration must be non-negative");
-  ensure_started();
+  std::size_t num_links = plan.num_accel_devices();
+  for (const AsyncCopy& c : async_copies) {
+    HYBRIMOE_REQUIRE(c.seconds >= 0.0, "copy duration must be non-negative");
+    num_links = std::max(num_links, c.link + 1);
+  }
+  ensure_started(num_links, num_links - 1);
   if (!slack_reduced_) {
     reduce_timer_slack();
     slack_reduced_ = true;
@@ -222,13 +282,14 @@ LayerResult HybridExecutor::execute_layer(const sched::LayerPlan& plan, double o
   auto board = std::make_shared<LayerBoard>();
   board->done.assign(tasks.size(), 0);
   board->slots.resize(tasks.size());
+  board->plan = &plan;
   board->input = store_.layer_input(plan.layer);
   board->compute = options_.compute_experts;
-  for (const std::size_t i : plan.device_order(sched::ComputeDevice::Cpu))
+  for (const std::size_t i : plan.device_order(sched::kCpuDevice))
     board->cpu.push_back({i, tasks[i].expert,
                           scaled_duration(tasks[i].end - tasks[i].start, scale)});
   board->cpu_remaining = board->cpu.size();
-  const auto gpu_order = plan.device_order(sched::ComputeDevice::Gpu);
+  const auto gpu_order = plan.device_order(sched::kGpuDevice);
 
   const auto layer_start = PaceClock::now();
 
@@ -238,40 +299,52 @@ LayerResult HybridExecutor::execute_layer(const sched::LayerPlan& plan, double o
   // C++ kernels to shrink).
   sleep_until_paced(layer_start + scaled_duration(overhead, scale));
 
-  // ---- PCIe lane: on-demand transfers in plan order, then the engine's
-  // speculative uploads. FIFO on the copy thread reproduces the modeled
-  // serially-occupied link, including carry into later layers.
-  for (const std::size_t i : plan.transfer_order()) {
-    const auto dur =
-        scaled_duration(tasks[i].transfer_end - tasks[i].transfer_start, scale);
-    copier_->submit([this, board, idx = i, id = tasks[i].expert, dur] {
-      const auto t0 = PaceClock::now();
-      // Publish completion even if the copy throws — the GPU lane blocks on
-      // done[idx]; the error surfaces via rethrow_pending_error at step end.
-      std::exception_ptr error;
-      if (options_.copy_weight_blobs) {
-        try {
-          copy_blob(id);
-        } catch (...) {
-          error = std::current_exception();
-        }
-      }
-      sleep_until_paced(t0 + dur);
-      {
-        std::lock_guard lock(board->m);
-        board->done[idx] = 1;
-        board->cv.notify_all();
-      }
-      if (error) std::rethrow_exception(error);  // recorded by the copy loop
-    });
+  // ---- Link lanes: each link's on-demand transfers in per-link plan order,
+  // then the engine's speculative uploads routed to it. FIFO on each copy
+  // thread reproduces the modeled serially-occupied links, including carry
+  // into later layers.
+  for (std::size_t link = 0; link < num_links; ++link) {
+    for (const std::size_t i :
+         plan.transfer_order(sched::accelerator_device(link))) {
+      const auto dur =
+          scaled_duration(tasks[i].transfer_end - tasks[i].transfer_start, scale);
+      // The scratch pointer is resolved here, on the engine thread: the
+      // copier thread must never index copy_scratch_ itself — a later
+      // ensure_started (higher device count) may reallocate the outer
+      // vector while copies are still in flight. The pointee is stable.
+      copiers_[link]->submit(
+          [this, board, idx = i, id = tasks[i].expert, dur,
+           scratch = copy_scratch_[link].get()] {
+            const auto t0 = PaceClock::now();
+            // Publish completion even if the copy throws — a GPU lane blocks
+            // on done[idx]; the error surfaces via rethrow_pending_error at
+            // step end.
+            std::exception_ptr error;
+            if (options_.copy_weight_blobs) {
+              try {
+                copy_blob(id, *scratch);
+              } catch (...) {
+                error = std::current_exception();
+              }
+            }
+            sleep_until_paced(t0 + dur);
+            {
+              std::lock_guard lock(board->m);
+              board->done[idx] = 1;
+              board->cv.notify_all();
+            }
+            if (error) std::rethrow_exception(error);  // recorded by the loop
+          });
+    }
   }
-  for (const moe::ExpertId id : async_copies) {
-    const auto dur = scaled_duration(async_copy_seconds, scale);
-    copier_->submit([this, id, dur] {
-      const auto t0 = PaceClock::now();
-      if (options_.copy_weight_blobs) copy_blob(id);
-      sleep_until_paced(t0 + dur);
-    });
+  for (const AsyncCopy& c : async_copies) {
+    const auto dur = scaled_duration(c.seconds, scale);
+    copiers_[c.link]->submit(
+        [this, id = c.id, dur, scratch = copy_scratch_[c.link].get()] {
+          const auto t0 = PaceClock::now();
+          if (options_.copy_weight_blobs) copy_blob(id, *scratch);
+          sleep_until_paced(t0 + dur);
+        });
   }
 
   // ---- CPU lane: chained through the worker pool in plan start order (the
@@ -280,8 +353,23 @@ LayerResult HybridExecutor::execute_layer(const sched::LayerPlan& plan, double o
   if (!board->cpu.empty())
     pool_->submit([this, board] { run_cpu_chain(board, 0); });
 
-  // ---- GPU lane (this thread): dense head, then routed GPU experts in plan
-  // order, each gated on its transfer completion.
+  // ---- Extra accelerator lanes (devices 2..N): each on its dedicated
+  // thread — dense head, then that device's tasks gated on their transfers.
+  for (std::size_t accel = 1; accel < num_links; ++accel) {
+    auto order = plan.device_order(sched::accelerator_device(accel));
+    if (order.empty()) continue;
+    {
+      std::lock_guard lock(board->m);
+      ++board->lanes_remaining;
+    }
+    gpu_lanes_[accel - 1]->submit(
+        [this, board, order = std::move(order), dense = plan.gpu_offset]() mutable {
+          run_gpu_lane(board, std::move(order), dense);
+        });
+  }
+
+  // ---- Primary GPU lane (this thread): dense head, then accelerator 0's
+  // routed experts in plan order, each gated on its transfer completion.
   {
     const auto t0 = PaceClock::now();
     sleep_until_paced(t0 + scaled_duration(plan.gpu_offset, scale));
@@ -298,11 +386,14 @@ LayerResult HybridExecutor::execute_layer(const sched::LayerPlan& plan, double o
     sleep_until_paced(t0 + scaled_duration(tasks[i].end - tasks[i].start, scale));
   }
 
-  // ---- Barrier: the layer is done when every compute task has finished
-  // (every plan transfer completed earlier — its GPU dependent waited on it).
+  // ---- Barrier: the layer is done when every compute task has finished on
+  // every lane (every plan transfer completed earlier — its accelerator
+  // dependent waited on it).
   {
     std::unique_lock lock(board->m);
-    board->cv.wait(lock, [&board] { return board->cpu_remaining == 0; });
+    board->cv.wait(lock, [&board] {
+      return board->cpu_remaining == 0 && board->lanes_remaining == 0;
+    });
   }
   pool_->rethrow_pending_error();
 
@@ -318,18 +409,20 @@ LayerResult HybridExecutor::execute_layer(const sched::LayerPlan& plan, double o
 double HybridExecutor::calibrate_time_scale(const hw::CostModel& costs, double safety) {
   HYBRIMOE_REQUIRE(!in_step_, "calibrate_time_scale inside a step");
   HYBRIMOE_REQUIRE(safety >= 1.0, "safety factor must be >= 1");
-  if (copier_) copier_->drain();  // scratch is about to be touched from here
+  // Scratch buffers are about to be touched from this thread.
+  for (const auto& copier : copiers_) copier->drain();
 
   const moe::ExpertId probe{0, 0};
   const auto& weights = store_.weights(probe);
   const auto input = store_.layer_input(0);
+  std::vector<float> probe_scratch;
   double real = 0.0;
   if (options_.compute_experts)
     real = std::max(real, hw::time_callable([&] {
       (void)kernels::expert_forward(weights, input);
     }));
   if (options_.copy_weight_blobs)
-    real = std::max(real, hw::time_callable([&] { copy_blob(probe); }));
+    real = std::max(real, hw::time_callable([&] { copy_blob(probe, probe_scratch); }));
   // Sleep overshoot: how late a paced task typically wakes.
   static constexpr auto kProbeSleep = std::chrono::microseconds(200);
   reduce_timer_slack();
@@ -338,9 +431,10 @@ double HybridExecutor::calibrate_time_scale(const hw::CostModel& costs, double s
       std::chrono::duration<double>(kProbeSleep).count();
   real = std::max({real, overshoot, 1e-6});
 
-  const double d_min = std::min({costs.gpu_expert_time(1),
-                                 costs.cpu_expert_time(1, /*warm=*/true),
-                                 costs.transfer_time()});
+  double d_min = std::min(costs.cpu_expert_time(1, /*warm=*/true),
+                          std::min(costs.gpu_expert_time(1), costs.transfer_time()));
+  for (std::size_t a = 1; a < costs.num_accelerators(); ++a)
+    d_min = std::min({d_min, costs.gpu_expert_time(1, a), costs.transfer_time(a)});
   HYBRIMOE_ASSERT(d_min > 0.0, "cost model yields non-positive task durations");
   return safety * real / d_min;
 }

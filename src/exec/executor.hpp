@@ -3,11 +3,15 @@
 /// \file executor.hpp
 /// The real threaded execution backend: takes the same sched::LayerPlan the
 /// discrete-event simulator consumes and actually dispatches it — CPU expert
-/// tasks to a work-stealing ThreadPool, transfers to the asynchronous
-/// CopyEngine thread, and GPU-lane work (dense phase + routed GPU experts)
-/// to the calling engine thread — honoring the plan's dependencies: an
-/// uncached GPU expert cannot start before its transfer completes, and each
-/// resource lane is serially occupied in plan order.
+/// tasks to a work-stealing ThreadPool, transfers to one asynchronous
+/// CopyEngine thread *per host link*, primary-GPU-lane work (dense phase +
+/// routed experts of accelerator 0) to the calling engine thread, and each
+/// further accelerator's lane to its own dedicated thread — honoring the
+/// plan's dependencies: an uncached accelerator expert cannot start before
+/// its transfer completes, and each resource lane is serially occupied in
+/// plan order. Lanes and copiers are created lazily from the device count
+/// the executed plans actually carry, so single-accelerator engines spawn
+/// exactly the threads they did under the CPU+GPU pair model.
 ///
 /// Every expert task runs a real kernels::expert_forward at the store's
 /// functional dimensions, then paces itself to the scaled modeled duration
@@ -103,6 +107,17 @@ struct StepResult {
   std::size_t layers = 0;          ///< layers executed this step
 };
 
+/// One speculative upload (prefetch or cache maintenance) the engine hands
+/// to the backend alongside a plan: which expert, over which accelerator
+/// link, at what modeled duration. Speculative copies are not waited on —
+/// they drain behind the plan's on-demand transfers, exactly like the
+/// modeled per-link carry.
+struct AsyncCopy {
+  moe::ExpertId id;
+  std::size_t link = 0;   ///< accelerator/link index (topology order)
+  double seconds = 0.0;   ///< modeled transfer duration on that link
+};
+
 /// Threaded (and reference) executor for scheduler layer plans.
 class HybridExecutor {
  public:
@@ -124,18 +139,17 @@ class HybridExecutor {
   /// must not nest.
   void begin_step();
 
-  /// Execute one layer plan for real: dispatches transfers to the copy
-  /// thread (in transfer_order, followed by `async_copies` — the engine's
-  /// prefetch/maintenance uploads at `async_copy_seconds` modeled seconds
-  /// each, which are *not* waited on and spill into subsequent layers
-  /// exactly like the modeled PCIe carry), chains CPU tasks through the
-  /// worker pool, runs the dense head (`overhead` + plan.gpu_offset) and the
-  /// GPU tasks on the calling thread, and returns once every compute task of
-  /// the plan has finished. Engine thread only, inside a step; plan.tasks
-  /// must be non-empty.
+  /// Execute one layer plan for real: dispatches each link's transfers to
+  /// that link's copy thread (in per-link transfer_order, followed by the
+  /// `async_copies` routed to it — speculative uploads that are *not* waited
+  /// on and spill into subsequent layers exactly like the modeled per-link
+  /// carry), chains CPU tasks through the worker pool, runs the dense head
+  /// (`overhead` + plan.gpu_offset) and accelerator 0's tasks on the calling
+  /// thread, runs every further accelerator's lane on its dedicated thread,
+  /// and returns once every compute task of the plan has finished. Engine
+  /// thread only, inside a step; plan.tasks must be non-empty.
   [[nodiscard]] LayerResult execute_layer(const sched::LayerPlan& plan, double overhead,
-                                          std::span<const moe::ExpertId> async_copies,
-                                          double async_copy_seconds = 0.0);
+                                          std::span<const AsyncCopy> async_copies = {});
 
   /// Single-threaded reference execution: computes the same outputs/digest
   /// as execute_layer with no threads and no pacing (measured == 0). The
@@ -169,23 +183,30 @@ class HybridExecutor {
 
  private:
   struct LayerBoard;
-  /// Lazily spawn the worker pool and copy thread.
-  void ensure_started();
+  /// Lazily spawn the worker pool plus one copy thread per link and one lane
+  /// thread per extra accelerator (num_links >= 1, num_lanes >= 0).
+  void ensure_started(std::size_t num_links, std::size_t num_lanes);
   /// Run CPU-lane task `pos` of the board, then chain-submit `pos` + 1.
   void run_cpu_chain(const std::shared_ptr<LayerBoard>& board, std::size_t pos);
-  /// memcpy one expert's weight blob into the staging buffer (copy thread).
-  void copy_blob(moe::ExpertId id);
+  /// Run one extra accelerator's whole lane (device index >= 1) on its
+  /// dedicated thread: dense head, then its tasks gated on their transfers.
+  void run_gpu_lane(const std::shared_ptr<LayerBoard>& board,
+                    std::vector<std::size_t> order, double dense_seconds);
+  /// memcpy one expert's weight blob into `scratch` (one buffer per link).
+  void copy_blob(moe::ExpertId id, std::vector<float>& scratch);
   /// Deterministic load-weighted reduction of per-task outputs, then digest.
   [[nodiscard]] std::vector<float> combine_and_digest(
       const sched::LayerPlan& plan, std::vector<std::vector<float>>& slots);
 
   ExecOptions options_;
   ExpertStore store_;
-  std::vector<float> copy_scratch_;  ///< device staging buffer; copy thread only
-  // Declaration order is load-bearing: the copy thread and worker pool are
-  // destroyed (joined) before the store/scratch their tasks reference.
+  /// Per-link device staging buffers; entry i is touched by copier i only.
+  std::vector<std::unique_ptr<std::vector<float>>> copy_scratch_;
+  // Declaration order is load-bearing: the copy/lane threads and worker pool
+  // are destroyed (joined) before the store/scratch their tasks reference.
   std::unique_ptr<ThreadPool> pool_;
-  std::unique_ptr<CopyEngine> copier_;
+  std::vector<std::unique_ptr<CopyEngine>> copiers_;   ///< one per link
+  std::vector<std::unique_ptr<CopyEngine>> gpu_lanes_; ///< accel 1.. lanes
   StepResult step_;
   bool in_step_ = false;
   bool slack_reduced_ = false;  ///< engine-thread timer slack tightened

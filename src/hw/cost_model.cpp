@@ -6,63 +6,14 @@
 
 namespace hybrimoe::hw {
 
-void MachineProfile::validate() const {
-  HYBRIMOE_REQUIRE(cpu.valid(), "cpu device parameters invalid");
-  HYBRIMOE_REQUIRE(gpu.valid(), "gpu device parameters invalid");
-  HYBRIMOE_REQUIRE(pcie.valid(), "pcie link parameters invalid");
-}
-
-MachineProfile MachineProfile::a6000_xeon10() {
-  MachineProfile m;
-  m.name = "A6000 + Xeon-5220R(10c)";
-  // 10 cores of a 2.2 GHz Xeon on llama.cpp Q4 dequant-GEMM kernels: well
-  // below AVX-512 peak, and ~35 GB/s of the shared DDR4 bandwidth.
-  m.cpu = {.flops = 150e9, .mem_bandwidth = 35e9, .launch_overhead = 4e-6,
-           .warmup_penalty = 80e-6, .flops_peak = 450e9, .flops_ramp_half = 4.0};
-  // A6000: 38.7 TF fp32 peak, Marlin 4-bit GEMM sustains far above that on
-  // tensor cores; memory 768 GB/s peak -> ~700 sustained.
-  m.gpu = {.flops = 60e12, .mem_bandwidth = 700e9, .launch_overhead = 30e-6,
-           .warmup_penalty = 0.0};
-  // PCIe 4.0 x16: 32 GB/s raw, ~25 GB/s effective with pinned-memory DMA.
-  m.pcie = {.bandwidth = 25e9, .latency = 15e-6};
-  return m;
-}
-
-MachineProfile MachineProfile::laptop_edge() {
-  MachineProfile m;
-  m.name = "Laptop dGPU + 8c mobile CPU";
-  m.cpu = {.flops = 120e9, .mem_bandwidth = 28e9, .launch_overhead = 5e-6,
-           .warmup_penalty = 60e-6, .flops_peak = 300e9, .flops_ramp_half = 4.0};
-  m.gpu = {.flops = 18e12, .mem_bandwidth = 270e9, .launch_overhead = 35e-6,
-           .warmup_penalty = 0.0};
-  m.pcie = {.bandwidth = 12e9, .latency = 20e-6};
-  return m;
-}
-
-MachineProfile MachineProfile::unit_test_machine() {
-  // Engineered so that, for a model whose routed expert has exactly 1 FLOP
-  // per token-parameter unit... in practice tests pair this with
-  // ModelConfig::tiny() and only rely on the ratios documented here:
-  //   cpu_expert_time(load)  ~= load seconds (flop bound, no overheads)
-  //   gpu_expert_time(load)  ~= 1 second     (bandwidth bound, flat)
-  //   transfer_time()        ~= 3 seconds
-  MachineProfile m;
-  m.name = "unit-test";
-  const moe::ModelConfig tiny = moe::ModelConfig::tiny();
-  const double expert_flops_per_token = tiny.routed.flops(1);
-  const auto expert_bytes = static_cast<double>(tiny.routed.bytes(4.25));
-  m.cpu = {.flops = expert_flops_per_token, .mem_bandwidth = 1e18,
-           .launch_overhead = 0.0, .warmup_penalty = 0.0};
-  m.gpu = {.flops = 1e18, .mem_bandwidth = expert_bytes, .launch_overhead = 0.0,
-           .warmup_penalty = 0.0};
-  m.pcie = {.bandwidth = expert_bytes / 3.0, .latency = 0.0};
-  return m;
-}
-
 CostModel::CostModel(MachineProfile machine, moe::ModelConfig model)
-    : machine_(std::move(machine)), model_(std::move(model)) {
-  machine_.validate();
+    : CostModel(Topology::from_machine(machine), std::move(model)) {}
+
+CostModel::CostModel(Topology topology, moe::ModelConfig model)
+    : topology_(std::move(topology)), model_(std::move(model)) {
+  topology_.validate();
   model_.validate();
+  machine_ = topology_.primary_machine();
 }
 
 double CostModel::compute_time(const ComputeDeviceParams& dev, double flops, double bytes,
@@ -76,34 +27,48 @@ double CostModel::compute_time(const ComputeDeviceParams& dev, double flops, dou
 
 double CostModel::cpu_expert_time(std::size_t tokens, bool warm) const {
   HYBRIMOE_REQUIRE(tokens > 0, "cpu_expert_time requires a positive load");
-  return compute_time(machine_.cpu, model_.routed.flops(tokens),
+  return compute_time(topology_.cpu, model_.routed.flops(tokens),
                       static_cast<double>(model_.routed_expert_bytes()), tokens, warm);
 }
 
 double CostModel::gpu_expert_time(std::size_t tokens) const {
+  return gpu_expert_time(tokens, 0);
+}
+
+double CostModel::gpu_expert_time(std::size_t tokens, std::size_t accel) const {
   HYBRIMOE_REQUIRE(tokens > 0, "gpu_expert_time requires a positive load");
-  return compute_time(machine_.gpu, model_.routed.flops(tokens),
+  HYBRIMOE_REQUIRE(accel < topology_.accelerators.size(),
+                   "accelerator index out of range");
+  return compute_time(topology_.accelerators[accel].compute, model_.routed.flops(tokens),
                       static_cast<double>(model_.routed_expert_bytes()), tokens,
                       /*warm=*/true);
 }
 
 double CostModel::transfer_time() const noexcept {
-  return machine_.pcie.latency +
-         static_cast<double>(model_.routed_expert_bytes()) / machine_.pcie.bandwidth;
+  const TransferLinkParams& link = topology_.accelerators.front().link;
+  return link.latency + static_cast<double>(model_.routed_expert_bytes()) / link.bandwidth;
+}
+
+double CostModel::transfer_time(std::size_t accel) const {
+  HYBRIMOE_REQUIRE(accel < topology_.accelerators.size(),
+                   "accelerator index out of range");
+  const TransferLinkParams& link = topology_.accelerators[accel].link;
+  return link.latency + static_cast<double>(model_.routed_expert_bytes()) / link.bandwidth;
 }
 
 double CostModel::shared_experts_time(std::size_t tokens) const {
   if (model_.num_shared_experts == 0) return 0.0;
   HYBRIMOE_REQUIRE(tokens > 0, "shared_experts_time requires a positive load");
   const auto n = static_cast<double>(model_.num_shared_experts);
-  return compute_time(machine_.gpu, n * model_.shared.flops(tokens),
+  return compute_time(topology_.accelerators.front().compute,
+                      n * model_.shared.flops(tokens),
                       n * static_cast<double>(model_.shared_expert_bytes()), tokens,
                       /*warm=*/true);
 }
 
 double CostModel::attention_time(std::size_t tokens) const {
   HYBRIMOE_REQUIRE(tokens > 0, "attention_time requires a positive load");
-  return compute_time(machine_.gpu,
+  return compute_time(topology_.accelerators.front().compute,
                       model_.attention_flops_per_token() * static_cast<double>(tokens),
                       static_cast<double>(model_.attention_bytes()), tokens,
                       /*warm=*/true);

@@ -1,12 +1,14 @@
 #pragma once
 
 /// \file cost_model.hpp
-/// Analytical CPU/GPU/PCIe cost model — the substitute for the paper's
-/// RTX A6000 + Xeon Gold 5220R testbed.
+/// Analytical CPU/accelerator/link cost model — the substitute for the
+/// paper's RTX A6000 + Xeon Gold 5220R testbed, generalized over an
+/// hw::Topology of one CPU plus N accelerator devices.
 ///
 /// Every scheduling decision in the paper consumes only three quantities:
-/// per-expert compute time on each device and per-expert transfer time. The
-/// model reproduces the regimes the paper measures in Fig. 3(e)/(f):
+/// per-expert compute time on each device and per-expert transfer time over
+/// each link. The model reproduces the regimes the paper measures in
+/// Fig. 3(e)/(f):
 ///
 ///  * device compute time = launch overhead + max(FLOP-bound, bandwidth-bound)
 ///    — so GPU per-expert time is essentially flat in token load (overhead /
@@ -15,76 +17,39 @@
 ///  * the first CPU task of a layer pays a warmup penalty (cold caches),
 ///    matching the "first expert computation on the CPU is slower"
 ///    observation;
-///  * PCIe transfer time = latency + bytes / bandwidth, constant per expert.
+///  * link transfer time = latency + bytes / bandwidth, constant per expert.
+///
+/// Accelerator-indexed overloads (`gpu_expert_time(tokens, accel)`,
+/// `transfer_time(accel)`) address devices by topology index; the index-free
+/// forms query accelerator 0 — on a single-accelerator topology they are the
+/// historical CPU+GPU-pair model, bit for bit.
 
 #include <cstddef>
 #include <string>
 
+#include "hw/topology.hpp"
 #include "moe/model_config.hpp"
 
 namespace hybrimoe::hw {
 
-/// Sustained-throughput description of one compute device.
-struct ComputeDeviceParams {
-  double flops = 0.0;            ///< sustained FLOP/s at single-token GEMV
-  double mem_bandwidth = 0.0;    ///< bytes/s streaming weights
-  double launch_overhead = 0.0;  ///< fixed seconds per dispatched task
-  double warmup_penalty = 0.0;   ///< extra seconds on the first task of a burst
-  /// GEMM-regime throughput: batched multi-token matmuls amortise loads and
-  /// reach far higher FLOP rates than GEMV. 0 disables the ramp (flat).
-  double flops_peak = 0.0;
-  /// Token count at which half the GEMV->GEMM headroom is reached.
-  double flops_ramp_half = 4.0;
-
-  /// Effective FLOP/s at a given batch size.
-  [[nodiscard]] double effective_flops(std::size_t tokens) const noexcept {
-    if (flops_peak <= flops) return flops;
-    const auto t = static_cast<double>(tokens);
-    return flops + (flops_peak - flops) * t / (t + flops_ramp_half);
-  }
-
-  [[nodiscard]] constexpr bool valid() const noexcept {
-    return flops > 0.0 && mem_bandwidth > 0.0 && launch_overhead >= 0.0 &&
-           warmup_penalty >= 0.0 && flops_peak >= 0.0 && flops_ramp_half > 0.0;
-  }
-};
-
-/// A host-device interconnect.
-struct TransferLinkParams {
-  double bandwidth = 0.0;  ///< bytes/s
-  double latency = 0.0;    ///< fixed seconds per transfer
-
-  [[nodiscard]] constexpr bool valid() const noexcept {
-    return bandwidth > 0.0 && latency >= 0.0;
-  }
-};
-
-/// One machine = CPU + GPU + PCIe link.
-struct MachineProfile {
-  std::string name;
-  ComputeDeviceParams cpu;
-  ComputeDeviceParams gpu;
-  TransferLinkParams pcie;
-
-  void validate() const;
-
-  /// The paper's testbed: RTX A6000 (PCIe 4.0 x16) + Xeon Gold 5220R capped
-  /// at 10 cores. Throughputs are sustained figures for 4-bit kernels, not
-  /// peak datasheet numbers.
-  [[nodiscard]] static MachineProfile a6000_xeon10();
-  /// A smaller edge box (laptop dGPU + 8-core mobile CPU) for scaling studies.
-  [[nodiscard]] static MachineProfile laptop_edge();
-  /// Unit-cost machine used by scheduler unit tests: CPU time == load units,
-  /// GPU time == 1 per expert, transfer == 3 (the Fig. 5 worked example).
-  [[nodiscard]] static MachineProfile unit_test_machine();
-};
-
-/// Time queries for one (machine, model) pair.
+/// Time queries for one (topology, model) pair.
 class CostModel {
  public:
+  /// Single-accelerator convenience: the historical CPU+GPU pair
+  /// (equivalent to CostModel(Topology::from_machine(machine), model)).
   CostModel(MachineProfile machine, moe::ModelConfig model);
+  /// Full N-accelerator model; `topology` must validate.
+  CostModel(Topology topology, moe::ModelConfig model);
 
+  /// The CPU + primary-accelerator pair view (accelerator 0).
   [[nodiscard]] const MachineProfile& machine() const noexcept { return machine_; }
+  /// The full device/link complement this model answers queries for.
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  /// Accelerator count N of the topology (>= 1).
+  [[nodiscard]] std::size_t num_accelerators() const noexcept {
+    return topology_.accelerators.size();
+  }
+  /// The model whose expert shapes are being charged.
   [[nodiscard]] const moe::ModelConfig& model() const noexcept { return model_; }
 
   /// Generic device compute time for a task of `flops` floating ops touching
@@ -96,21 +61,28 @@ class CostModel {
   /// One routed expert on the CPU with `tokens` tokens. `warm` is false for
   /// the first expert task of a layer burst.
   [[nodiscard]] double cpu_expert_time(std::size_t tokens, bool warm = true) const;
-  /// One routed expert on the GPU with `tokens` tokens.
+  /// One routed expert on the primary accelerator (index 0).
   [[nodiscard]] double gpu_expert_time(std::size_t tokens) const;
-  /// Moving one routed expert's weights across PCIe.
+  /// One routed expert on accelerator `accel` (topology index < N).
+  [[nodiscard]] double gpu_expert_time(std::size_t tokens, std::size_t accel) const;
+  /// Moving one routed expert's weights over the primary link (index 0).
   [[nodiscard]] double transfer_time() const noexcept;
+  /// Moving one routed expert's weights over accelerator `accel`'s link.
+  [[nodiscard]] double transfer_time(std::size_t accel) const;
 
-  /// All shared experts of one layer on the GPU (they are pinned residents).
+  /// All shared experts of one layer on the primary accelerator (they are
+  /// pinned residents of the dense pipeline).
   [[nodiscard]] double shared_experts_time(std::size_t tokens) const;
-  /// Attention + norms of one layer on the GPU.
+  /// Attention + norms of one layer on the primary accelerator.
   [[nodiscard]] double attention_time(std::size_t tokens) const;
   /// Fixed per-layer framework overhead (kernel dispatch, python glue, ...).
   [[nodiscard]] double layer_overhead() const noexcept { return layer_overhead_; }
+  /// Set the fixed per-layer framework overhead in seconds.
   void set_layer_overhead(double seconds) noexcept { layer_overhead_ = seconds; }
 
  private:
-  MachineProfile machine_;
+  Topology topology_;
+  MachineProfile machine_;  ///< primary pair view, kept for legacy interfaces
   moe::ModelConfig model_;
   double layer_overhead_ = 0.0;
 };

@@ -1,6 +1,7 @@
 #include "runtime/engine.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "util/assert.hpp"
 
@@ -14,15 +15,42 @@ OffloadEngine::OffloadEngine(EngineComponents components, const hw::CostModel& c
   HYBRIMOE_REQUIRE(components_.execution_mode == exec::ExecutionMode::Simulated ||
                        components_.executor != nullptr,
                    "threaded execution requires an executor");
+  HYBRIMOE_REQUIRE(components_.extra_caches.size() + 1 == costs.num_accelerators(),
+                   "engine requires one expert cache per accelerator of the topology");
+  caches_.push_back(components_.cache.get());
+  for (const auto& extra : components_.extra_caches) {
+    HYBRIMOE_REQUIRE(extra != nullptr, "null extra device cache");
+    caches_.push_back(extra.get());
+  }
+}
+
+cache::CacheStats OffloadEngine::aggregate_cache_stats() const {
+  cache::CacheStats total;
+  for (const cache::ExpertCache* cache : caches_) {
+    const cache::CacheStats& s = cache->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.insertions += s.insertions;
+    total.evictions += s.evictions;
+    total.rejected_insertions += s.rejected_insertions;
+  }
+  return total;
 }
 
 void OffloadEngine::seed_cache(std::span<const moe::ExpertId> experts, bool pinned) {
+  const std::size_t n = caches_.size();
+  std::size_t next = 0;
   for (const auto& id : experts) {
-    if (components_.cache->full()) break;
+    const bool any_space = std::any_of(caches_.begin(), caches_.end(),
+                                       [](const auto* c) { return !c->full(); });
+    if (!any_space) break;
+    while (caches_[next % n]->full()) ++next;
+    cache::ExpertCache& cache = *caches_[next % n];
+    ++next;
     if (pinned) {
-      components_.cache->insert_pinned(id);
+      cache.insert_pinned(id);
     } else {
-      (void)components_.cache->insert(id);
+      (void)cache.insert(id);
     }
   }
 }
@@ -34,8 +62,9 @@ double OffloadEngine::run_step(const workload::ForwardTrace& forward,
                    "trace layer count does not match the model");
   HYBRIMOE_REQUIRE(forward.tokens > 0, "forward pass with no tokens");
 
-  auto& cache = *components_.cache;
-  const double xfer = costs_.transfer_time();
+  const std::size_t num_devices = caches_.size();
+  std::vector<double> xfer(num_devices);
+  for (std::size_t a = 0; a < num_devices; ++a) xfer[a] = costs_.transfer_time(a);
   double latency = 0.0;
 
   // Execution backend (optional): Threaded lowers every plan onto real
@@ -54,28 +83,31 @@ double OffloadEngine::run_step(const workload::ForwardTrace& forward,
       if (executor != nullptr) executor->abort_step();
     }
   } step_guard{executor};
-  // PCIe work (prefetches) still in flight when a layer ends spills into the
-  // next layer's link occupancy — the link is asynchronous across layers.
-  double pcie_carry = 0.0;
+  // Link work (prefetches) still in flight when a layer ends spills into the
+  // next layer's occupancy of that link — links are asynchronous across
+  // layers, one carry per accelerator link.
+  std::vector<double> link_carry(num_devices, 0.0);
 
   // During prefill every layer is visited exactly once, so streamed experts
   // go to transient GPU buffers: on-demand uploads are discarded after use
   // and prefetched experts live only until their target layer consumes them.
   // Inserting them into the cache would churn out seeded entries of upcoming
   // layers for zero reuse (the reason the paper's Table III has no prefill
-  // "+Caching" row). Decode inserts into the managed cache as usual.
+  // "+Caching" row). Decode inserts into the managed caches as usual. The
+  // map value records which device's transient buffer holds the copy.
   const bool is_prefill = stage == sched::Stage::Prefill;
-  std::unordered_set<moe::ExpertId> transient;
+  std::unordered_map<moe::ExpertId, std::uint8_t> transient;
   std::size_t transient_hits = 0;
 
   for (std::size_t l = 0; l < forward.num_layers(); ++l) {
     const auto layer = static_cast<std::uint16_t>(l);
     const moe::LayerRouting& routing = forward.layers[l];
 
-    // Dense part: attention + shared experts, resident on the GPU. The
-    // routed phase overlaps it — the CPU starts misses and PCIe starts
-    // transfers while the GPU finishes the dense work (Fig. 5's "Shared
-    // Expert" block), so it enters the plan as the GPU start offset.
+    // Dense part: attention + shared experts, resident on the accelerators.
+    // The routed phase overlaps it — the CPU starts misses and the links
+    // start transfers while the accelerators finish the dense work (Fig. 5's
+    // "Shared Expert" block), so it enters the plan as the device start
+    // offset.
     const double t_attn = costs_.attention_time(forward.tokens);
     const double t_shared = costs_.shared_experts_time(forward.tokens);
     const double dense = t_attn + t_shared;
@@ -86,99 +118,184 @@ double OffloadEngine::run_step(const workload::ForwardTrace& forward,
 
     // Score feed (Eq. 3 input) before this layer's lookups, mirroring the
     // real pipeline: the gate runs first, then cache decisions are made.
+    // One feed to the primary cache suffices — per-device MRS instances
+    // share the score table (MrsPolicy::share_table).
     if (components_.update_policy_scores)
-      cache.update_scores(layer, routing.scores, model.top_k);
+      caches_[0]->update_scores(layer, routing.scores, model.top_k);
 
-    // Cache lookups for the activated experts, then the demands.
+    // Cache lookups for the activated experts, then the demands. Residency
+    // is resolved across every device cache; the miss is charged to the
+    // primary cache (aggregate stats are what the metrics report).
     std::vector<sched::ExpertDemand> demands;
     std::vector<moe::ExpertId> activated_ids;
     for (std::uint32_t e = 0; e < routing.loads.size(); ++e) {
       if (routing.loads[e] == 0) continue;
       const moe::ExpertId id{layer, static_cast<std::uint16_t>(e)};
-      bool hit;
-      if (transient.erase(id) > 0) {  // consumed prefetch buffer
-        hit = true;
+      bool hit = false;
+      sched::DeviceId resident_on = sched::kGpuDevice;
+      if (const auto it = transient.find(id); it != transient.end()) {
+        hit = true;  // consumed prefetch buffer
+        resident_on = sched::accelerator_device(it->second);
+        transient.erase(it);
         ++transient_hits;
       } else {
-        hit = cache.lookup(id);
+        for (std::size_t a = 0; a < num_devices; ++a) {
+          if (caches_[a]->probe(id)) {
+            hit = true;
+            resident_on = sched::accelerator_device(a);
+            break;
+          }
+        }
+        if (hit) {
+          (void)caches_[resident_on.accel_index()]->lookup(id);
+        } else {
+          caches_[0]->record_miss(id);
+        }
       }
-      demands.push_back({static_cast<std::uint16_t>(e), routing.loads[e], hit});
+      demands.push_back(
+          {static_cast<std::uint16_t>(e), routing.loads[e], hit, resident_on});
       activated_ids.push_back(id);
     }
     if (demands.empty()) {
       latency += dense;
-      pcie_carry = std::max(0.0, pcie_carry - dense);
+      for (double& carry : link_carry) carry = std::max(0.0, carry - dense);
       if (threaded) executor->pace_dense(overhead + dense);
       continue;
     }
 
-    const sched::LayerPlan plan =
-        components_.scheduler->schedule(layer, stage, demands, costs_, dense, pcie_carry);
+    const sched::LayerPlan plan = components_.scheduler->schedule(
+        layer, stage, demands, costs_, dense, link_carry[0], link_carry);
     latency += plan.makespan;  // includes the dense phase (gpu_offset)
     metrics.moe_time += plan.makespan - dense;
     metrics.cpu_busy += plan.cpu_busy;
     metrics.gpu_busy += plan.gpu_busy;
     metrics.pcie_busy += plan.pcie_busy;
 
-    // On-demand transfers become residents (policy-managed admission) in
-    // decode; prefill streams them through transient buffers.
-    const auto transferred = plan.transferred_experts();
-    metrics.transfers += transferred.size();
-    if (components_.dynamic_cache_inserts && !is_prefill) {
-      for (const auto& id : transferred) (void)cache.insert(id, activated_ids);
+    // On-demand transfers become residents of the device that pulled them
+    // (policy-managed admission) in decode; prefill streams them through
+    // transient buffers.
+    for (const auto& t : plan.tasks) {
+      if (!t.transferred) continue;
+      ++metrics.transfers;
+      if (components_.dynamic_cache_inserts && !is_prefill)
+        (void)caches_[t.device.accel_index()]->insert(t.expert, activated_ids);
     }
 
-    // Speculative uploads may *start* any time the link is free before the
-    // layer ends; the last one may still be in flight when the next layer
-    // begins (pcie_carry). Each started transfer occupies the link for one
+    // Speculative uploads may *start* any time some link is free before the
+    // layer ends; the last ones may still be in flight when the next layer
+    // begins (link_carry). Each started transfer occupies its link for one
     // expert-transfer time.
-    double pcie_cursor = plan.pcie_end;
+    std::vector<double> link_cursor(num_devices);
+    for (std::size_t a = 0; a < num_devices; ++a) link_cursor[a] = plan.link_end(a);
+    // Upload placement order: least-loaded link first (lowest index on
+    // ties). An upload rejected by one device's cache falls through to the
+    // next link, so a full or zero-capacity device never starves the rest.
+    const auto links_by_cursor = [&link_cursor] {
+      std::vector<std::size_t> order(link_cursor.size());
+      for (std::size_t a = 0; a < order.size(); ++a) order[a] = a;
+      std::stable_sort(order.begin(), order.end(), [&link_cursor](auto a, auto b) {
+        return link_cursor[a] < link_cursor[b];
+      });
+      return order;
+    };
     // Speculative uploads committed this layer (prefetch + maintenance), in
-    // issue order — the execution backend replays them on its copy thread
-    // behind the plan's on-demand transfers.
-    std::vector<moe::ExpertId> async_copies;
+    // issue order with their target link — the execution backend replays
+    // them on the link's copy thread behind the plan's on-demand transfers.
+    std::vector<exec::AsyncCopy> async_copies;
+
+    // Residency the prefetcher cannot see through the primary cache:
+    // transient prefill buffers plus the extra devices' caches.
+    const auto extra_resident = [&] {
+      std::unordered_set<moe::ExpertId> extra;
+      for (const auto& [id, dev] : transient) extra.insert(id);
+      for (std::size_t a = 1; a < num_devices; ++a)
+        for (const moe::ExpertId id : caches_[a]->residents()) extra.insert(id);
+      return extra;
+    };
 
     // Impact-driven (or baseline) prefetching for upcoming layers.
     if (components_.prefetcher != nullptr && components_.dynamic_cache_inserts) {
+      // Idle-window sum across links; a backed-up link contributes zero, it
+      // must not cancel another link's genuine idle time. (Single-link:
+      // clamping is decision-identical — the prefetcher plans nothing for
+      // any budget <= 0.)
+      double budget = 0.0;
+      for (std::size_t a = 0; a < num_devices; ++a)
+        budget += std::max(0.0, plan.makespan - link_cursor[a]);
+      const auto resident_elsewhere = extra_resident();
       const auto decisions = components_.prefetcher->plan(
-          forward, l, stage, cache, costs_, plan.makespan - pcie_cursor, &transient);
+          forward, l, stage, *caches_[0], costs_, budget, &resident_elsewhere);
       for (const auto& d : decisions) {
-        const bool uploaded =
-            is_prefill ? transient.insert(d.expert).second : cache.insert(d.expert).inserted;
+        bool uploaded = false;
+        std::size_t placed_on = 0;
+        for (const std::size_t a : links_by_cursor()) {
+          uploaded = is_prefill ? transient
+                                      .emplace(d.expert,
+                                               static_cast<std::uint8_t>(a))
+                                      .second
+                                : caches_[a]->insert(d.expert).inserted;
+          if (uploaded) {
+            placed_on = a;
+            break;
+          }
+          // A transient-buffer rejection means the expert is already staged
+          // — no other link would change that.
+          if (is_prefill) break;
+        }
         if (uploaded) {
           ++metrics.prefetches;
-          metrics.pcie_busy += xfer;
-          pcie_cursor += xfer;
-          async_copies.push_back(d.expert);
+          metrics.pcie_busy += xfer[placed_on];
+          link_cursor[placed_on] += xfer[placed_on];
+          async_copies.push_back({d.expert, placed_on, xfer[placed_on]});
         }
       }
     }
 
     // Score-driven maintenance: retain this layer's missed high-priority
-    // experts for the next iteration while the link is still idle. This is
+    // experts for the next iteration while some link is still idle. This is
     // an inter-iteration technique — meaningless within one prefill forward.
     if (components_.cache_maintenance && components_.dynamic_cache_inserts &&
         !is_prefill) {
       std::vector<moe::ExpertId> missed;
-      for (std::size_t i = 0; i < demands.size(); ++i)
-        if (!demands[i].cached && !cache.probe(activated_ids[i]))
-          missed.push_back(activated_ids[i]);
+      for (std::size_t i = 0; i < demands.size(); ++i) {
+        if (demands[i].cached) continue;
+        const auto resident = [&](const moe::ExpertId id) {
+          for (std::size_t a = 0; a < num_devices; ++a)
+            if (caches_[a]->probe(id)) return true;
+          return false;
+        };
+        if (!resident(activated_ids[i])) missed.push_back(activated_ids[i]);
+      }
+      const cache::CachePolicy& policy = caches_[0]->policy();
       std::sort(missed.begin(), missed.end(), [&](moe::ExpertId a, moe::ExpertId b) {
-        return cache.policy().priority(a) > cache.policy().priority(b);
+        return policy.priority(a) > policy.priority(b);
       });
       for (const auto& id : missed) {
-        if (pcie_cursor >= plan.makespan) break;  // link busy past the layer
-        if (cache.full()) {
-          const auto victim = cache.peek_victim();
-          if (!victim.has_value()) break;
-          if (cache.policy().priority(id) <= cache.policy().priority(*victim)) break;
+        // Try links least-loaded first; a device whose policy refuses the
+        // candidate (its victim outranks it) yields to the next device
+        // rather than ending maintenance for the layer. Candidates are
+        // priority-descending, so once one is refused by *every* idle
+        // link's device, the rest would be too — stop then.
+        bool placed = false;
+        for (const std::size_t a : links_by_cursor()) {
+          if (link_cursor[a] >= plan.makespan) break;  // rest are busier still
+          cache::ExpertCache& target = *caches_[a];
+          if (target.full()) {
+            const auto victim = target.peek_victim();
+            if (!victim.has_value() ||
+                target.policy().priority(id) <= target.policy().priority(*victim))
+              continue;  // this device refuses; try the next link
+          }
+          if (target.insert(id).inserted) {
+            ++metrics.maintenance;
+            metrics.pcie_busy += xfer[a];
+            link_cursor[a] += xfer[a];
+            async_copies.push_back({id, a, xfer[a]});
+            placed = true;
+          }
+          break;  // insert attempted on the chosen device either way
         }
-        if (cache.insert(id).inserted) {
-          ++metrics.maintenance;
-          metrics.pcie_busy += xfer;
-          pcie_cursor += xfer;
-          async_copies.push_back(id);
-        }
+        if (!placed) break;  // all links busy, or no device admits this one
       }
     }
 
@@ -188,13 +305,14 @@ double OffloadEngine::run_step(const workload::ForwardTrace& forward,
     // simulated-with-executor computes the reference outputs only.
     if (executor != nullptr) {
       if (threaded) {
-        (void)executor->execute_layer(plan, overhead, async_copies, xfer);
+        (void)executor->execute_layer(plan, overhead, async_copies);
       } else {
         (void)executor->execute_layer_reference(plan);
       }
     }
 
-    pcie_carry = std::max(0.0, pcie_cursor - plan.makespan);
+    for (std::size_t a = 0; a < num_devices; ++a)
+      link_carry[a] = std::max(0.0, link_cursor[a] - plan.makespan);
   }
   metrics.cache.hits += transient_hits;  // prefetch-buffer hits count as hits
   if (executor != nullptr) {
@@ -210,13 +328,13 @@ StageMetrics OffloadEngine::run_prefill(const workload::PrefillTrace& trace) {
   StageMetrics metrics;
   metrics.stage = sched::Stage::Prefill;
   metrics.tokens = trace.prompt_tokens;
-  components_.cache->reset_stats();
+  for (cache::ExpertCache* cache : caches_) cache->reset_stats();
   const double latency = run_step(trace.forward, sched::Stage::Prefill, metrics);
   metrics.per_forward.push_back(latency);
   metrics.total_latency = latency;
   // run_step accumulated transient-buffer hits into metrics.cache.hits;
-  // merge them with the cache's own counters.
-  cache::CacheStats stats = components_.cache->stats();
+  // merge them with the caches' own counters.
+  cache::CacheStats stats = aggregate_cache_stats();
   stats.hits += metrics.cache.hits;
   metrics.cache = stats;
   return metrics;
@@ -227,13 +345,13 @@ StageMetrics OffloadEngine::run_decode(const workload::DecodeTrace& trace) {
   StageMetrics metrics;
   metrics.stage = sched::Stage::Decode;
   metrics.tokens = trace.num_steps();
-  components_.cache->reset_stats();
+  for (cache::ExpertCache* cache : caches_) cache->reset_stats();
   for (const auto& step : trace.steps) {
     const double latency = run_step(step, sched::Stage::Decode, metrics);
     metrics.per_forward.push_back(latency);
     metrics.total_latency += latency;
   }
-  cache::CacheStats stats = components_.cache->stats();
+  cache::CacheStats stats = aggregate_cache_stats();
   stats.hits += metrics.cache.hits;
   metrics.cache = stats;
   return metrics;

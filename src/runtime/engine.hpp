@@ -2,11 +2,14 @@
 
 /// \file engine.hpp
 /// The offloading inference engine: walks a routing trace layer by layer,
-/// charges dense work (attention, shared experts) to the GPU, asks its
-/// scheduler for a routed-expert plan, applies cache effects (on-demand
-/// inserts, score-driven maintenance) and spends idle PCIe time on
-/// prefetching. Every framework in the evaluation is an OffloadEngine with
-/// different components — so end-to-end comparisons isolate policy choices.
+/// charges dense work (attention, shared experts) to the accelerators, asks
+/// its scheduler for a routed-expert plan over the cost model's device
+/// topology, applies cache effects (on-demand inserts into the pulling
+/// device's cache, score-driven maintenance) and spends idle link time on
+/// prefetching (each upload routed to the least-busy link). Every framework
+/// in the evaluation is an OffloadEngine with different components — so
+/// end-to-end comparisons isolate policy choices. A single-accelerator
+/// topology reproduces the historical CPU+GPU pair bit for bit.
 
 #include <memory>
 #include <string>
@@ -25,7 +28,13 @@ namespace hybrimoe::runtime {
 struct EngineComponents {
   std::string name;
   std::unique_ptr<sched::LayerScheduler> scheduler;  ///< required
-  std::unique_ptr<cache::ExpertCache> cache;         ///< required (may be 0-capacity)
+  /// Primary accelerator's expert cache (required; may be 0-capacity).
+  std::unique_ptr<cache::ExpertCache> cache;
+  /// Expert caches of accelerators 1..N-1, in topology order — exactly one
+  /// per extra accelerator of the engine's cost-model topology (empty on
+  /// the classic single-GPU pair). make_engine splits the capacity budget
+  /// by the topology's cache shares and shares MRS score tables.
+  std::vector<std::unique_ptr<cache::ExpertCache>> extra_caches;
   std::unique_ptr<core::Prefetcher> prefetcher;      ///< optional
 
   /// On-demand transfers and prefetches become cache residents.
@@ -68,11 +77,21 @@ class OffloadEngine {
 
   /// \brief Framework name (stable for the engine's lifetime).
   [[nodiscard]] const std::string& name() const noexcept { return components_.name; }
-  /// \brief The GPU expert cache (engine-thread only).
+  /// \brief The primary accelerator's expert cache (engine-thread only).
   [[nodiscard]] cache::ExpertCache& cache() noexcept { return *components_.cache; }
+  /// \brief Const view of the primary accelerator's expert cache.
   [[nodiscard]] const cache::ExpertCache& cache() const noexcept {
     return *components_.cache;
   }
+  /// \brief Number of accelerator devices (== the cost model's topology).
+  [[nodiscard]] std::size_t num_devices() const noexcept { return caches_.size(); }
+  /// \brief Expert cache of accelerator `accel` (topology index; 0 is the
+  /// primary cache). Engine-thread only.
+  [[nodiscard]] cache::ExpertCache& device_cache(std::size_t accel) noexcept {
+    return *caches_[accel];
+  }
+  /// \brief Hit/miss/insert counters summed across every device cache.
+  [[nodiscard]] cache::CacheStats aggregate_cache_stats() const;
   /// \brief The analytical cost model this engine charges against.
   [[nodiscard]] const hw::CostModel& costs() const noexcept { return costs_; }
   /// \brief The layer scheduler (engine-thread only).
@@ -84,8 +103,9 @@ class OffloadEngine {
     return components_.execution_mode;
   }
 
-  /// \brief Pre-populate the cache (from warmup frequencies). Pinned entries
-  /// model static placements that never change at runtime.
+  /// \brief Pre-populate the device caches (from warmup frequencies),
+  /// filling across devices round-robin. Pinned entries model static
+  /// placements that never change at runtime.
   void seed_cache(std::span<const moe::ExpertId> experts, bool pinned);
 
   /// \brief Run one prefill request; returns TTFT and friends.
@@ -112,6 +132,9 @@ class OffloadEngine {
  private:
   EngineComponents components_;
   const hw::CostModel& costs_;
+  /// Per-device cache view: [components_.cache, extra_caches...], one entry
+  /// per accelerator of the topology.
+  std::vector<cache::ExpertCache*> caches_;
 };
 
 }  // namespace hybrimoe::runtime

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "cache/expert_cache.hpp"
+#include "cache/mrs_policy.hpp"
 #include "core/warmup.hpp"
 #include "runtime/stack_registry.hpp"
 #include "util/assert.hpp"
@@ -138,6 +139,23 @@ StackSpec ablation_spec(const core::HybriMoeConfig& config) {
   return spec;
 }
 
+hw::Topology resolve_topology(const TopologySpec& spec) {
+  hw::Topology topology = spec.preset.empty()
+                              ? hw::Topology::a6000_xeon10()
+                              : topology_registry().get(spec.preset)();
+  if (spec.devices.has_value() && *spec.devices != topology.num_accelerators()) {
+    HYBRIMOE_REQUIRE(*spec.devices >= 1 && *spec.devices <= 254,
+                     "topology 'devices' must be in [1, 254]");
+    const hw::AcceleratorProfile base = topology.accelerators.front();
+    topology.accelerators.resize(*spec.devices, base);
+    for (std::size_t i = 0; i < topology.accelerators.size(); ++i)
+      topology.accelerators[i].name = "gpu" + std::to_string(i);
+    topology.name += " [devices=" + std::to_string(*spec.devices) + "]";
+  }
+  topology.validate();
+  return topology;
+}
+
 StackSpec resolve_stack(const std::string& arg) {
   if (!arg.empty() && arg.front() == '@') {
     const std::string path = arg.substr(1);
@@ -163,6 +181,7 @@ void print_stack_catalog(std::ostream& os) {
   family("Schedulers", scheduler_registry().names());
   family("Cache policies", cache_policy_registry().names());
   family("Prefetchers", prefetcher_registry().names());
+  family("Topology presets", topology_registry().names());
   os << "Stack arguments: preset name | inline JSON ('{...}') | @spec-file\n";
 }
 
@@ -173,15 +192,41 @@ std::unique_ptr<OffloadEngine> make_engine(const StackSpec& spec,
   const moe::ModelConfig& model = costs.model();
   ComponentContext ctx{costs, info, spec, nullptr};
 
+  // The spec's topology section describes the device complement the caller
+  // must have built the cost model with (resolve_topology); an accelerator
+  // count mismatch here means the two disagree.
+  if (!spec.topology.empty()) {
+    const std::size_t want = resolve_topology(spec.topology).num_accelerators();
+    HYBRIMOE_REQUIRE(want == costs.num_accelerators(),
+                     "stack spec names a topology with " + std::to_string(want) +
+                         " accelerator(s) but the cost model was built with " +
+                         std::to_string(costs.num_accelerators()) +
+                         " — build the CostModel via resolve_topology(spec.topology)");
+  }
+
   EngineComponents c;
   c.name = spec.display_name();
   c.scheduler = scheduler_registry().get(spec.scheduler.policy)(ctx);
   ctx.scheduler = c.scheduler.get();
 
   const double ratio = spec.cache.ratio.value_or(info.cache_ratio);
-  c.cache = std::make_unique<cache::ExpertCache>(
-      cache::ExpertCache::capacity_for_ratio(model, ratio),
-      cache_policy_registry().get(spec.cache.policy)(ctx));
+  const CachePolicyFactory& policy_factory =
+      cache_policy_registry().get(spec.cache.policy);
+  const auto capacity_split = costs.topology().split_cache_capacity(
+      cache::ExpertCache::capacity_for_ratio(model, ratio));
+  auto primary_policy = policy_factory(ctx);
+  // Per-device caches share one Eq. 3 score table when the policy is MRS —
+  // routing scores are device-independent (the engine feeds the primary
+  // cache only); every other policy keeps independent per-device state.
+  const auto* mrs = dynamic_cast<const cache::MrsPolicy*>(primary_policy.get());
+  for (std::size_t a = 1; a < capacity_split.size(); ++a) {
+    std::unique_ptr<cache::CachePolicy> device_policy =
+        mrs != nullptr ? mrs->share_table() : policy_factory(ctx);
+    c.extra_caches.push_back(std::make_unique<cache::ExpertCache>(
+        capacity_split[a], std::move(device_policy)));
+  }
+  c.cache = std::make_unique<cache::ExpertCache>(capacity_split.front(),
+                                                 std::move(primary_policy));
   c.prefetcher = prefetcher_registry().get(spec.prefetch.policy)(ctx);
 
   c.dynamic_cache_inserts = spec.dynamic_cache_inserts;
@@ -193,8 +238,12 @@ std::unique_ptr<OffloadEngine> make_engine(const StackSpec& spec,
 
   auto engine = std::make_unique<OffloadEngine>(std::move(c), costs);
   if (spec.warmup != WarmupSeeding::None && !info.warmup_frequencies.empty()) {
-    const auto hottest =
-        core::hottest_experts(info.warmup_frequencies, engine->cache().capacity());
+    // Seed against the *total* budget — seed_cache spreads the hottest
+    // experts round-robin across the device caches (equals the primary
+    // capacity on single-accelerator topologies).
+    std::size_t total_capacity = 0;
+    for (const std::size_t cap : capacity_split) total_capacity += cap;
+    const auto hottest = core::hottest_experts(info.warmup_frequencies, total_capacity);
     engine->seed_cache(hottest, spec.warmup == WarmupSeeding::Pinned);
   }
   return engine;

@@ -108,6 +108,13 @@ struct EngineBuildInfo {
 /// mutations of the component keys.
 [[nodiscard]] StackSpec ablation_spec(const core::HybriMoeConfig& config);
 
+/// \brief Resolve a TopologySpec against the topology registry: empty
+/// preset means the paper testbed (hw::Topology::a6000_xeon10()); a
+/// `devices` override replicates/truncates the preset's accelerator list to
+/// exactly that count (re-deriving names, keeping per-device parameters).
+/// Callers build their hw::CostModel from the result before make_engine.
+[[nodiscard]] hw::Topology resolve_topology(const TopologySpec& spec);
+
 /// \brief Resolve one stack argument — the CLI grammar shared by the
 /// benches' --stacks flag and tools/hybrimoe_run: a registered preset name
 /// ("HybriMoE"), an inline JSON spec ("{...}"), or "@path" to a spec file.

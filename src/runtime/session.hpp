@@ -19,6 +19,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 
 #include "runtime/frameworks.hpp"
@@ -32,6 +33,10 @@ namespace hybrimoe::runtime {
 struct ExperimentSpec {
   moe::ModelConfig model;
   hw::MachineProfile machine = hw::MachineProfile::a6000_xeon10();
+  /// Multi-device complement; when set it overrides `machine` as the cost
+  /// model's hardware description (machine stays as the legacy single-pair
+  /// field so existing specs are untouched).
+  std::optional<hw::Topology> topology;
   double cache_ratio = 0.25;
   workload::TraceGenParams trace;  ///< includes the seed
   std::size_t warmup_steps = 48;   ///< decode steps observed by the warmup

@@ -20,6 +20,11 @@ util::Registry<PrefetcherFactory>& prefetcher_registry() {
   return registry;
 }
 
+util::Registry<TopologyFactory>& topology_registry() {
+  static util::Registry<TopologyFactory> registry("topology preset");
+  return registry;
+}
+
 // ---------------------------------------------------------------------------
 // Built-in components. Keys match each component's name() where it has one,
 // so registry listings and engine internals agree on vocabulary.
@@ -114,6 +119,25 @@ const PrefetcherRegistrar kNoPrefetcher{
     "none", [](const ComponentContext&) -> std::unique_ptr<core::Prefetcher> {
       return nullptr;
     }};
+
+// -- Topology presets (hw/topology.hpp) --------------------------------------
+
+const TopologyRegistrar kA6000Topology{
+    "a6000_xeon10", [] { return hw::Topology::a6000_xeon10(); }};
+
+const TopologyRegistrar kDualA6000Topology{
+    "dual_a6000", [] { return hw::Topology::dual_a6000(); }};
+
+const TopologyRegistrar kQuadSimTopology{
+    "quad_sim", [] { return hw::Topology::quad_sim(); }};
+
+const TopologyRegistrar kLaptopEdgeTopology{
+    "laptop_edge",
+    [] { return hw::Topology::from_machine(hw::MachineProfile::laptop_edge()); }};
+
+const TopologyRegistrar kUnitTestTopology{
+    "unit_test",
+    [] { return hw::Topology::from_machine(hw::MachineProfile::unit_test_machine()); }};
 
 }  // namespace
 

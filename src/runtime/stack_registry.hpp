@@ -21,6 +21,7 @@
 #include "cache/policy.hpp"
 #include "core/prefetcher.hpp"
 #include "hw/cost_model.hpp"
+#include "hw/topology.hpp"
 #include "runtime/frameworks.hpp"
 #include "sched/schedulers.hpp"
 #include "util/registry.hpp"
@@ -49,12 +50,20 @@ using CachePolicyFactory =
 using PrefetcherFactory =
     std::function<std::unique_ptr<core::Prefetcher>(const ComponentContext&)>;
 
+/// Builds a named device topology. Factories take no context — a topology
+/// is pure hardware description; TopologySpec's `devices` override is
+/// applied afterwards by resolve_topology (frameworks.hpp).
+using TopologyFactory = std::function<hw::Topology()>;
+
 /// The scheduler family ("hybrid", "fixed-map", "gpu-centric", "static-layer").
 [[nodiscard]] util::Registry<SchedulerFactory>& scheduler_registry();
 /// The cache replacement-policy family ("mrs", "lru", "lfu", "fifo", "random").
 [[nodiscard]] util::Registry<CachePolicyFactory>& cache_policy_registry();
 /// The prefetcher family ("impact", "next-layer", "none").
 [[nodiscard]] util::Registry<PrefetcherFactory>& prefetcher_registry();
+/// The topology presets ("a6000_xeon10", "dual_a6000", "quad_sim",
+/// "laptop_edge", "unit_test").
+[[nodiscard]] util::Registry<TopologyFactory>& topology_registry();
 
 /// Self-registration helpers: a namespace-scope registrar object adds its
 /// factory when its translation unit is initialised.
@@ -77,6 +86,12 @@ struct CachePolicyRegistrar {
 struct PrefetcherRegistrar {
   PrefetcherRegistrar(std::string name, PrefetcherFactory factory) {
     prefetcher_registry().add(std::move(name), std::move(factory));
+  }
+};
+/// Self-registration helper for topology presets (see SchedulerRegistrar).
+struct TopologyRegistrar {
+  TopologyRegistrar(std::string name, TopologyFactory factory) {
+    topology_registry().add(std::move(name), std::move(factory));
   }
 };
 

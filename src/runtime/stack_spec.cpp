@@ -279,6 +279,27 @@ PrefetchSpec parse_prefetch(const JsonValue& v) {
   return out;
 }
 
+/// "topology": "dual_a6000"  |  {"preset": "quad_sim", "devices": 4}
+TopologySpec parse_topology(const JsonValue& v) {
+  TopologySpec out;
+  if (v.is_string()) {
+    out.preset = std::get<std::string>(v.value);
+    return out;
+  }
+  if (!v.is_object()) spec_error(v.offset, "'topology' must be a string or an object");
+  static const std::vector<std::string> kKeys{"devices", "preset"};
+  for (const auto& [key, value] : std::get<JsonObject>(v.value)) {
+    if (key == "preset") {
+      out.preset = as_string(value, key);
+    } else if (key == "devices") {
+      out.devices = as_count(value, key);
+    } else {
+      unknown_key(value, "topology option", key, kKeys);
+    }
+  }
+  return out;
+}
+
 exec::ExecutionMode exec_from_name(const JsonValue& v) {
   const std::string& name = as_string(v, "exec");
   if (name == "simulated") return exec::ExecutionMode::Simulated;
@@ -415,6 +436,11 @@ void StackSpec::validate() const {
                      "prefetch 'max_per_layer' must be >= 1");
   }
 
+  if (!topology.preset.empty()) (void)topology_registry().get(topology.preset);
+  if (topology.devices.has_value())
+    HYBRIMOE_REQUIRE(*topology.devices >= 1 && *topology.devices <= 254,
+                     "topology 'devices' must be in [1, 254]");
+
   if (overhead_us.has_value())
     HYBRIMOE_REQUIRE(*overhead_us >= 0.0, "'overhead_us' must be >= 0");
 }
@@ -424,7 +450,7 @@ StackSpec parse_stack_spec(std::string_view text) {
   static const std::vector<std::string> kKeys{
       "cache",          "cache_maintenance", "dynamic_inserts", "exec",
       "name",           "overhead_us",       "prefetch",        "scheduler",
-      "update_scores",  "warmup"};
+      "topology",       "update_scores",     "warmup"};
 
   StackSpec spec;
   for (const auto& [key, value] : std::get<JsonObject>(document.value)) {
@@ -436,6 +462,8 @@ StackSpec parse_stack_spec(std::string_view text) {
       spec.cache = parse_cache(value);
     } else if (key == "prefetch") {
       spec.prefetch = parse_prefetch(value);
+    } else if (key == "topology") {
+      spec.topology = parse_topology(value);
     } else if (key == "dynamic_inserts") {
       spec.dynamic_cache_inserts = as_bool(value, key);
     } else if (key == "update_scores") {
@@ -503,6 +531,15 @@ std::string to_json(const StackSpec& spec) {
     if (spec.prefetch.max_per_layer.has_value())
       os << ", \"max_per_layer\": " << *spec.prefetch.max_per_layer;
     os << "}";
+  }
+
+  if (!spec.topology.empty()) {
+    if (spec.topology.devices.has_value()) {
+      w.field("topology") << "{\"preset\": " << quote(spec.topology.preset)
+                          << ", \"devices\": " << *spec.topology.devices << "}";
+    } else {
+      w.field("topology") << quote(spec.topology.preset);
+    }
   }
 
   w.field("dynamic_inserts") << (spec.dynamic_cache_inserts ? "true" : "false");

@@ -18,6 +18,7 @@
 ///   {"scheduler": "hybrid",
 ///    "cache": {"policy": "mrs", "ratio": 0.25},
 ///    "prefetch": "impact",
+///    "topology": {"preset": "dual_a6000", "devices": 2},
 ///    "cache_maintenance": true,
 ///    "overhead_us": 40}
 ///
@@ -71,6 +72,23 @@ struct CacheSpec {
   bool operator==(const CacheSpec&) const = default;
 };
 
+/// Device-complement selection: a named topology preset (registry key, see
+/// topology_registry) plus an optional accelerator-count override that
+/// replicates/truncates the preset's device list. Empty (the default) means
+/// "whatever topology the caller's cost model was built with" — presets stay
+/// byte-identical to their single-pair serialisations.
+struct TopologySpec {
+  std::string preset;                   ///< "" = the build's cost-model topology
+  std::optional<std::size_t> devices;   ///< override accelerator count (>= 1)
+
+  bool operator==(const TopologySpec&) const = default;
+
+  /// True when nothing was requested (the spec defers to the cost model).
+  [[nodiscard]] bool empty() const {
+    return preset.empty() && !devices.has_value();
+  }
+};
+
 /// Prefetcher selection: "impact", "next-layer" or "none".
 struct PrefetchSpec {
   std::string policy = "impact";
@@ -97,6 +115,10 @@ struct StackSpec {
   SchedulerSpec scheduler;
   CacheSpec cache;
   PrefetchSpec prefetch;
+  /// Device complement the stack is meant to run on. Callers build the cost
+  /// model via resolve_topology(spec.topology) (frameworks.hpp); make_engine
+  /// cross-checks the accelerator count against the cost model it is given.
+  TopologySpec topology;
 
   /// On-demand transfers and prefetches become cache residents.
   bool dynamic_cache_inserts = true;

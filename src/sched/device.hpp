@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file device.hpp
+/// The scheduler's device model: a compact DeviceId handle plus the DeviceSet
+/// complement a scheduler plans over. Device 0 is always the host CPU;
+/// devices 1..N are the accelerators of the machine's hw::Topology, in
+/// topology order (DeviceId{1} is accelerator index 0, the "primary GPU" of
+/// the historical CPU+GPU pair). Every layer of the stack — plans, the
+/// greedy simulation, the caches, the prefetcher, the threaded executor —
+/// addresses compute resources through these ids, so adding an accelerator
+/// to the topology needs no scheduler code changes.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hybrimoe::sched {
+
+/// Compact handle for one schedulable compute device (0 = host CPU,
+/// 1..N = accelerators). Trivially copyable; totally ordered so plans and
+/// tests can sort by device.
+struct DeviceId {
+  std::uint8_t value = 0;
+
+  /// True for the host CPU (device 0).
+  [[nodiscard]] constexpr bool is_cpu() const noexcept { return value == 0; }
+  /// True for any accelerator (devices 1..N).
+  [[nodiscard]] constexpr bool is_accelerator() const noexcept { return value != 0; }
+  /// Topology accelerator index (value - 1). Precondition: is_accelerator().
+  [[nodiscard]] constexpr std::size_t accel_index() const noexcept {
+    return static_cast<std::size_t>(value) - 1u;
+  }
+
+  friend constexpr auto operator<=>(DeviceId, DeviceId) noexcept = default;
+};
+
+/// The host CPU (always present).
+inline constexpr DeviceId kCpuDevice{0};
+/// The primary accelerator — the "GPU" of the historical CPU+GPU pair.
+inline constexpr DeviceId kGpuDevice{1};
+
+/// DeviceId of accelerator `accel_index` (topology order).
+[[nodiscard]] constexpr DeviceId accelerator_device(std::size_t accel_index) noexcept {
+  return DeviceId{static_cast<std::uint8_t>(accel_index + 1)};
+}
+
+/// Human-readable device name: "cpu", "gpu0", "gpu1", ...
+[[nodiscard]] inline std::string to_string(DeviceId id) {
+  if (id.is_cpu()) return "cpu";
+  return "gpu" + std::to_string(id.accel_index());
+}
+
+/// The device complement one scheduling decision ranges over: the host CPU
+/// plus `num_accelerators` accelerators (at least one). Derived from the
+/// cost model's hw::Topology; the simulator uses it to validate that every
+/// demand's residency device exists before filling its per-device queues,
+/// and it is the membership test for any DeviceId arriving from outside.
+class DeviceSet {
+ public:
+  /// A CPU plus `num_accelerators` accelerators (must be >= 1).
+  constexpr explicit DeviceSet(std::size_t num_accelerators = 1) noexcept
+      : num_accelerators_(num_accelerators == 0 ? 1 : num_accelerators) {}
+
+  /// Accelerator count N (excludes the CPU).
+  [[nodiscard]] constexpr std::size_t num_accelerators() const noexcept {
+    return num_accelerators_;
+  }
+  /// Total schedulable devices (N + 1, including the CPU).
+  [[nodiscard]] constexpr std::size_t size() const noexcept {
+    return num_accelerators_ + 1;
+  }
+  /// DeviceId of accelerator `i` (0-based topology index, i < N).
+  [[nodiscard]] constexpr DeviceId accelerator(std::size_t i) const noexcept {
+    return accelerator_device(i);
+  }
+  /// True when `id` names the CPU or an accelerator of this set.
+  [[nodiscard]] constexpr bool contains(DeviceId id) const noexcept {
+    return id.is_cpu() || id.accel_index() < num_accelerators_;
+  }
+
+ private:
+  std::size_t num_accelerators_;
+};
+
+}  // namespace hybrimoe::sched

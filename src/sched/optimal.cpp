@@ -39,7 +39,7 @@ std::vector<std::size_t> johnson_order(const std::vector<double>& pcie_times,
 }  // namespace
 
 double assignment_makespan(std::span<const ExpertDemand> demands,
-                           std::span<const ComputeDevice> assignment,
+                           std::span<const DeviceId> assignment,
                            const hw::CostModel& costs, const SimOptions& options) {
   HYBRIMOE_REQUIRE(demands.size() == assignment.size(),
                    "assignment length mismatch");
@@ -49,7 +49,7 @@ double assignment_makespan(std::span<const ExpertDemand> demands,
   double cpu_total = 0.0;
   bool cpu_used = false;
   for (std::size_t i = 0; i < demands.size(); ++i) {
-    if (assignment[i] != ComputeDevice::Cpu) continue;
+    if (assignment[i] != kCpuDevice) continue;
     const bool warm = cpu_used || !options.cpu_cold_start;
     cpu_total += costs.cpu_expert_time(demands[i].load, warm);
     cpu_used = true;
@@ -61,7 +61,7 @@ double assignment_makespan(std::span<const ExpertDemand> demands,
   std::vector<double> pcie_times;
   std::vector<double> gpu_times;
   for (std::size_t i = 0; i < demands.size(); ++i) {
-    if (assignment[i] != ComputeDevice::Gpu) continue;
+    if (assignment[i] != kGpuDevice) continue;
     if (demands[i].cached) {
       gpu_t += costs.gpu_expert_time(demands[i].load);
     } else {
@@ -89,13 +89,13 @@ OptimalResult optimal_layer_schedule(std::span<const ExpertDemand> demands,
   const std::size_t n = demands.size();
   OptimalResult best;
   best.makespan = std::numeric_limits<double>::infinity();
-  std::vector<ComputeDevice> assignment(n);
+  std::vector<DeviceId> assignment(n);
 
   for (std::uint32_t mask = 0; mask < (1U << n); ++mask) {
     bool feasible = true;
     for (std::size_t i = 0; i < n && feasible; ++i) {
       const bool on_gpu = (mask >> i) & 1U;
-      assignment[i] = on_gpu ? ComputeDevice::Gpu : ComputeDevice::Cpu;
+      assignment[i] = on_gpu ? kGpuDevice : kCpuDevice;
       if (on_gpu && !demands[i].cached && !options.allow_transfers) feasible = false;
       if (!on_gpu && !options.allow_cpu) feasible = false;
       if (!on_gpu && demands[i].cached && !options.allow_cpu_steal) feasible = false;

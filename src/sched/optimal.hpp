@@ -1,7 +1,10 @@
 #pragma once
 
 /// \file optimal.hpp
-/// Exact reference scheduler for small instances.
+/// Exact reference scheduler for small instances (single-pair oracle: the
+/// enumeration covers the CPU and the *primary* accelerator only — it bounds
+/// the greedy scheduler on the historical CPU+GPU pair, not on N-device
+/// topologies).
 ///
 /// The paper argues the per-layer mapping problem is NP-hard in general and
 /// settles for priority-rule greedy simulation (§IV-B). For instances of up
@@ -27,8 +30,9 @@ namespace hybrimoe::sched {
 
 struct OptimalResult {
   double makespan = 0.0;
-  /// Device per demand (parallel to the input span).
-  std::vector<ComputeDevice> assignment;
+  /// Device per demand (parallel to the input span; kCpuDevice or
+  /// kGpuDevice — the oracle is pair-only).
+  std::vector<DeviceId> assignment;
 };
 
 /// Exact minimum makespan over all assignments and transfer orders, under
@@ -41,7 +45,7 @@ struct OptimalResult {
 /// Makespan of one fixed assignment (exposed for tests): cached-on-GPU
 /// experts run first, transferred experts follow in Johnson's order.
 [[nodiscard]] double assignment_makespan(std::span<const ExpertDemand> demands,
-                                         std::span<const ComputeDevice> assignment,
+                                         std::span<const DeviceId> assignment,
                                          const hw::CostModel& costs,
                                          const SimOptions& options = {});
 

@@ -17,6 +17,23 @@ Stage dominant_stage(std::size_t prefill_tokens, std::size_t decode_tokens) noex
   return prefill_tokens >= decode_tokens ? Stage::Prefill : Stage::Decode;
 }
 
+std::size_t LayerPlan::num_accel_devices() const {
+  std::size_t n = std::max<std::size_t>(1, std::max(link_offsets.size(), link_ends.size()));
+  for (const auto& t : tasks)
+    if (t.device.is_accelerator()) n = std::max(n, t.device.accel_index() + 1);
+  return n;
+}
+
+double LayerPlan::link_offset(std::size_t accel) const {
+  if (accel < link_offsets.size()) return link_offsets[accel];
+  return pcie_offset;
+}
+
+double LayerPlan::link_end(std::size_t accel) const {
+  if (accel < link_ends.size()) return link_ends[accel];
+  return pcie_end;
+}
+
 std::vector<moe::ExpertId> LayerPlan::transferred_experts() const {
   std::vector<moe::ExpertId> out;
   for (const auto& t : tasks)
@@ -24,7 +41,7 @@ std::vector<moe::ExpertId> LayerPlan::transferred_experts() const {
   return out;
 }
 
-std::vector<std::size_t> LayerPlan::device_order(ComputeDevice device) const {
+std::vector<std::size_t> LayerPlan::device_order(DeviceId device) const {
   std::vector<std::size_t> order;
   for (std::size_t i = 0; i < tasks.size(); ++i)
     if (tasks[i].device == device) order.push_back(i);
@@ -38,6 +55,16 @@ std::vector<std::size_t> LayerPlan::transfer_order() const {
   std::vector<std::size_t> order;
   for (std::size_t i = 0; i < tasks.size(); ++i)
     if (tasks[i].transferred) order.push_back(i);
+  std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return tasks[a].transfer_start < tasks[b].transfer_start;
+  });
+  return order;
+}
+
+std::vector<std::size_t> LayerPlan::transfer_order(DeviceId device) const {
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    if (tasks[i].transferred && tasks[i].device == device) order.push_back(i);
   std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
     return tasks[a].transfer_start < tasks[b].transfer_start;
   });
@@ -60,11 +87,9 @@ hw::TimelineSet LayerPlan::to_timelines() const {
       items.push_back({t.transfer_start, t.transfer_end, hw::OpKind::Transfer, t.expert,
                        t.load, hw::Resource::Pcie});
     items.push_back({t.start, t.end,
-                     t.device == ComputeDevice::Cpu ? hw::OpKind::CpuCompute
-                                                    : hw::OpKind::GpuCompute,
+                     t.device.is_cpu() ? hw::OpKind::CpuCompute : hw::OpKind::GpuCompute,
                      t.expert, t.load,
-                     t.device == ComputeDevice::Cpu ? hw::Resource::Cpu
-                                                    : hw::Resource::Gpu});
+                     t.device.is_cpu() ? hw::Resource::Cpu : hw::Resource::Gpu});
   }
   std::sort(items.begin(), items.end(),
             [](const Item& a, const Item& b) { return a.start < b.start; });
@@ -77,6 +102,8 @@ std::vector<std::string> validate_plan(const LayerPlan& plan,
                                        std::span<const ExpertDemand> demands) {
   std::vector<std::string> issues;
   auto complain = [&issues](const std::string& what) { issues.push_back(what); };
+
+  const std::size_t num_accels = plan.num_accel_devices();
 
   std::unordered_map<std::uint16_t, const ExpertTask*> by_expert;
   for (const auto& t : plan.tasks) {
@@ -98,6 +125,10 @@ std::vector<std::string> validate_plan(const LayerPlan& plan,
                std::to_string(t.load) + " vs demand " + std::to_string(d.load));
     if (t.was_cached != d.cached)
       complain("expert " + t.expert.to_string() + " cached flag mismatch");
+    if (d.cached && t.was_cached && !t.transferred && t.device.is_accelerator() &&
+        t.device != d.cached_on)
+      complain("cached expert " + t.expert.to_string() + " computed on " +
+               to_string(t.device) + " but resident on " + to_string(d.cached_on));
   }
   if (by_expert.size() != demands.size())
     complain("plan computes " + std::to_string(by_expert.size()) + " experts, demands " +
@@ -107,6 +138,15 @@ std::vector<std::string> validate_plan(const LayerPlan& plan,
   if (plan.pcie_offset < 0.0) complain("negative pcie_offset");
   if (plan.pcie_end < plan.pcie_offset - kTimeEps)
     complain("pcie_end before pcie_offset");
+  if (!plan.link_offsets.empty() &&
+      std::abs(plan.link_offsets.front() - plan.pcie_offset) > kTimeEps)
+    complain("link_offsets[0] does not mirror pcie_offset");
+  if (!plan.link_ends.empty() &&
+      std::abs(plan.link_ends.front() - plan.pcie_end) > kTimeEps)
+    complain("link_ends[0] does not mirror pcie_end");
+  for (std::size_t a = 0; a < num_accels; ++a)
+    if (plan.link_end(a) < plan.link_offset(a) - kTimeEps)
+      complain("link_end before link_offset on " + to_string(accelerator_device(a)));
 
   double latest_end = plan.gpu_offset;
   double cpu = 0.0;
@@ -115,33 +155,36 @@ std::vector<std::string> validate_plan(const LayerPlan& plan,
   for (const auto& t : plan.tasks) {
     if (t.end < t.start - kTimeEps)
       complain("expert " + t.expert.to_string() + " has negative compute duration");
-    if (t.device == ComputeDevice::Gpu && t.start < plan.gpu_offset - kTimeEps)
+    if (t.device.is_accelerator() && t.start < plan.gpu_offset - kTimeEps)
       complain("expert " + t.expert.to_string() +
-               " starts on the GPU during the dense phase");
+               " starts on an accelerator during the dense phase");
     latest_end = std::max(latest_end, t.end);
-    (t.device == ComputeDevice::Cpu ? cpu : gpu) += t.end - t.start;
+    (t.device.is_cpu() ? cpu : gpu) += t.end - t.start;
 
     if (t.transferred) {
       if (t.was_cached)
         complain("cached expert " + t.expert.to_string() + " was transferred");
-      if (t.transfer_start < plan.pcie_offset - kTimeEps)
+      if (!t.device.is_accelerator()) {
+        complain("transferred expert " + t.expert.to_string() +
+                 " not computed on an accelerator");
+      } else if (t.transfer_start <
+                 plan.link_offset(t.device.accel_index()) - kTimeEps) {
         complain("expert " + t.expert.to_string() +
                  " transferred while the link was still carrying earlier work");
-      if (t.device != ComputeDevice::Gpu)
-        complain("transferred expert " + t.expert.to_string() + " not computed on GPU");
+      }
       if (t.transfer_end > t.start + kTimeEps)
         complain("expert " + t.expert.to_string() + " computed before its transfer ended");
       if (t.transfer_end < t.transfer_start - kTimeEps)
         complain("expert " + t.expert.to_string() + " has negative transfer duration");
       pcie += t.transfer_end - t.transfer_start;
-    } else if (!t.was_cached && t.device == ComputeDevice::Gpu) {
+    } else if (!t.was_cached && t.device.is_accelerator()) {
       complain("uncached expert " + t.expert.to_string() +
-               " computed on GPU without a transfer");
+               " computed on an accelerator without a transfer");
     }
   }
 
-  // Resource exclusivity.
-  auto check_overlap = [&](hw::Resource res, auto interval_of) {
+  // Resource exclusivity, per device and per link.
+  auto check_overlap = [&](const std::string& what, auto interval_of) {
     std::vector<std::pair<double, double>> spans;
     for (const auto& t : plan.tasks) {
       const auto iv = interval_of(t);
@@ -150,22 +193,24 @@ std::vector<std::string> validate_plan(const LayerPlan& plan,
     std::sort(spans.begin(), spans.end());
     for (std::size_t i = 1; i < spans.size(); ++i)
       if (spans[i].first < spans[i - 1].second - kTimeEps) {
-        complain(std::string("overlapping intervals on ") + hw::to_string(res));
+        complain("overlapping intervals on " + what);
         return;
       }
   };
-  check_overlap(hw::Resource::Cpu, [](const ExpertTask& t) {
-    return t.device == ComputeDevice::Cpu ? std::pair{t.start, t.end}
-                                          : std::pair{0.0, 0.0};
+  check_overlap("CPU", [](const ExpertTask& t) {
+    return t.device.is_cpu() ? std::pair{t.start, t.end} : std::pair{0.0, 0.0};
   });
-  check_overlap(hw::Resource::Gpu, [](const ExpertTask& t) {
-    return t.device == ComputeDevice::Gpu ? std::pair{t.start, t.end}
-                                          : std::pair{0.0, 0.0};
-  });
-  check_overlap(hw::Resource::Pcie, [](const ExpertTask& t) {
-    return t.transferred ? std::pair{t.transfer_start, t.transfer_end}
-                         : std::pair{0.0, 0.0};
-  });
+  for (std::size_t a = 0; a < num_accels; ++a) {
+    const DeviceId dev = accelerator_device(a);
+    check_overlap(to_string(dev), [dev](const ExpertTask& t) {
+      return t.device == dev ? std::pair{t.start, t.end} : std::pair{0.0, 0.0};
+    });
+    check_overlap("link of " + to_string(dev), [dev](const ExpertTask& t) {
+      return t.transferred && t.device == dev
+                 ? std::pair{t.transfer_start, t.transfer_end}
+                 : std::pair{0.0, 0.0};
+    });
+  }
 
   if (std::abs(plan.makespan - latest_end) > kTimeEps * (1.0 + latest_end))
     complain("makespan " + std::to_string(plan.makespan) +

@@ -3,9 +3,9 @@
 /// \file plan.hpp
 /// The unit the schedulers produce: a per-layer execution plan assigning every
 /// activated expert to a device, with transfer and compute intervals on the
-/// three resource timelines. Plans are checked by validate_plan — every
-/// scheduler in the test suite must produce structurally valid plans on every
-/// input.
+/// per-device resource timelines (CPU, each accelerator, each host link).
+/// Plans are checked by validate_plan — every scheduler in the test suite
+/// must produce structurally valid plans on every input.
 
 #include <cstdint>
 #include <span>
@@ -14,6 +14,7 @@
 
 #include "hw/timeline.hpp"
 #include "moe/expert_id.hpp"
+#include "sched/device.hpp"
 
 namespace hybrimoe::sched {
 
@@ -21,6 +22,7 @@ namespace hybrimoe::sched {
 /// (kTransformers uses the CPU only during decode — paper Table I).
 enum class Stage : std::uint8_t { Prefill, Decode };
 
+/// Printable stage name ("prefill" / "decode").
 [[nodiscard]] constexpr const char* to_string(Stage s) noexcept {
   return s == Stage::Prefill ? "prefill" : "decode";
 }
@@ -34,22 +36,24 @@ enum class Stage : std::uint8_t { Prefill, Decode };
 [[nodiscard]] Stage dominant_stage(std::size_t prefill_tokens,
                                    std::size_t decode_tokens) noexcept;
 
-enum class ComputeDevice : std::uint8_t { Cpu, Gpu };
-
 /// One activated expert of the current layer as the scheduler sees it.
 struct ExpertDemand {
   std::uint16_t expert = 0;
   std::uint32_t load = 0;  ///< tokens routed to this expert (> 0)
-  bool cached = false;     ///< resident in the GPU expert cache
+  bool cached = false;     ///< resident in some accelerator's expert cache
+  /// Which accelerator holds the resident copy (meaningful when `cached`).
+  /// Defaults to the primary accelerator, so single-device call sites that
+  /// aggregate-initialize {expert, load, cached} are unchanged.
+  DeviceId cached_on = kGpuDevice;
 };
 
 /// Where/when one expert was computed (and transferred, if it was).
 struct ExpertTask {
   moe::ExpertId expert;
   std::uint32_t load = 0;
-  ComputeDevice device = ComputeDevice::Cpu;
+  DeviceId device = kCpuDevice;  ///< computing device (CPU or an accelerator)
   bool was_cached = false;
-  bool transferred = false;  ///< uploaded on demand before GPU compute
+  bool transferred = false;  ///< uploaded on demand before accelerator compute
   double transfer_start = 0.0;
   double transfer_end = 0.0;
   double start = 0.0;
@@ -61,44 +65,73 @@ struct LayerPlan {
   std::uint16_t layer = 0;
   Stage stage = Stage::Decode;
   std::vector<ExpertTask> tasks;
-  /// GPU occupancy by the layer's dense phase (SimOptions::gpu_busy_until);
-  /// no GPU expert task starts before it.
+  /// Accelerator occupancy by the layer's dense phase (SimOptions::
+  /// gpu_busy_until, charged to every accelerator — the dense pipeline is
+  /// replicated); no accelerator expert task starts before it.
   double gpu_offset = 0.0;
-  /// PCIe occupancy carried in from previous layers' in-flight transfers;
-  /// no transfer starts before it.
+  /// Primary-link occupancy carried in from previous layers' in-flight
+  /// transfers; no transfer on link 0 starts before it. Per-link values for
+  /// the other links live in `link_offsets`.
   double pcie_offset = 0.0;
-  /// When the PCIe link frees up after this plan's transfers (>= pcie_offset;
-  /// the prefetcher starts its uploads here).
+  /// When the primary link frees up after this plan's transfers
+  /// (>= pcie_offset; the prefetcher starts its uploads here). Per-link
+  /// values for the other links live in `link_ends`.
   double pcie_end = 0.0;
   /// Layer latency: dense phase plus the routed-expert phase
   /// (max of gpu_offset and the latest compute end).
   double makespan = 0.0;
   double cpu_busy = 0.0;
-  double gpu_busy = 0.0;
-  double pcie_busy = 0.0;
+  double gpu_busy = 0.0;   ///< summed across accelerators
+  double pcie_busy = 0.0;  ///< summed across links
+  /// Per-link occupancy carried in / left behind, one entry per accelerator
+  /// link in topology order. Empty on hand-built single-link plans — the
+  /// scalar pcie_offset/pcie_end fields are then authoritative; when
+  /// non-empty, entry 0 mirrors the scalars.
+  std::vector<double> link_offsets;
+  /// Per-link busy-until times after this plan's transfers (see link_offsets).
+  std::vector<double> link_ends;
 
-  /// Experts uploaded on demand (they enter the cache on completion).
+  /// Number of accelerator devices this plan spans (>= 1): the larger of the
+  /// per-link vectors and the highest task device id.
+  [[nodiscard]] std::size_t num_accel_devices() const;
+
+  /// Occupancy carried into accelerator link `accel` (scalar fallback).
+  [[nodiscard]] double link_offset(std::size_t accel) const;
+  /// Busy-until of accelerator link `accel` after this plan (scalar fallback).
+  [[nodiscard]] double link_end(std::size_t accel) const;
+
+  /// Experts uploaded on demand (they enter their device's cache on
+  /// completion).
   [[nodiscard]] std::vector<moe::ExpertId> transferred_experts() const;
 
   /// Indices of the tasks computed on `device`, in compute-start order —
   /// the serial occupation order of that resource lane. The execution
   /// backend lowers each lane into a chain of real tasks in this order.
-  [[nodiscard]] std::vector<std::size_t> device_order(ComputeDevice device) const;
+  [[nodiscard]] std::vector<std::size_t> device_order(DeviceId device) const;
 
-  /// Indices of the transferred tasks in transfer-start order — the FIFO
-  /// service order of the PCIe lane (the copy engine's submission order).
+  /// Indices of all transferred tasks in transfer-start order — the combined
+  /// FIFO service order across links (equals the single link's order on
+  /// one-accelerator plans).
   [[nodiscard]] std::vector<std::size_t> transfer_order() const;
 
-  /// Rebuild resource timelines (for Gantt rendering and validation).
+  /// Indices of the tasks transferred over `device`'s link in transfer-start
+  /// order — the FIFO submission order of that link's copy engine.
+  [[nodiscard]] std::vector<std::size_t> transfer_order(DeviceId device) const;
+
+  /// Rebuild the three-lane resource timelines (for Gantt rendering and
+  /// validation). Accelerator tasks of every device share the GPU lane and
+  /// transfers of every link share the PCIe lane, so the chart is only
+  /// non-overlapping for single-accelerator plans.
   [[nodiscard]] hw::TimelineSet to_timelines() const;
 };
 
 /// Structural validation; returns human-readable violations (empty == valid):
 ///  * every demanded expert computed exactly once, with matching load;
-///  * an uncached expert computed on the GPU must have a completed transfer
-///    that ends before its compute starts;
+///  * an uncached expert computed on an accelerator must have a completed
+///    transfer (over that device's link) that ends before its compute starts;
 ///  * cached experts are never transferred;
-///  * no two intervals overlap on the same resource;
+///  * no two intervals overlap on the same resource (CPU, each accelerator,
+///    each link);
 ///  * makespan equals the latest compute end and busy sums match intervals.
 [[nodiscard]] std::vector<std::string> validate_plan(
     const LayerPlan& plan, std::span<const ExpertDemand> demands);

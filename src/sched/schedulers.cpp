@@ -14,10 +14,12 @@ HybridScheduler::HybridScheduler(SimOptions options) : options_(options) {
 LayerPlan HybridScheduler::schedule(std::uint16_t layer, Stage stage,
                                     std::span<const ExpertDemand> demands,
                                     const hw::CostModel& costs,
-                                    double gpu_busy_until, double pcie_busy_until) {
+                                    double gpu_busy_until, double pcie_busy_until,
+                                    std::span<const double> link_busy) {
   SimOptions opt = options_;
   opt.gpu_busy_until = gpu_busy_until;
   opt.pcie_busy_until = pcie_busy_until;
+  opt.link_busy_until.assign(link_busy.begin(), link_busy.end());
   return simulate_layer(layer, stage, demands, costs, opt);
 }
 
@@ -33,10 +35,12 @@ SimOptions FixedMapScheduler::impact_options() const {
 LayerPlan FixedMapScheduler::schedule(std::uint16_t layer, Stage stage,
                                       std::span<const ExpertDemand> demands,
                                       const hw::CostModel& costs,
-                                      double gpu_busy_until, double pcie_busy_until) {
+                                      double gpu_busy_until, double pcie_busy_until,
+                                      std::span<const double> link_busy) {
   SimOptions opt;
   opt.gpu_busy_until = gpu_busy_until;
   opt.pcie_busy_until = pcie_busy_until;
+  opt.link_busy_until.assign(link_busy.begin(), link_busy.end());
   if (stage == Stage::Decode) {
     // Decode: hits on GPU, misses on CPU, nothing moves.
     opt.allow_cpu = true;
@@ -64,10 +68,12 @@ SimOptions GpuCentricScheduler::impact_options() const {
 LayerPlan GpuCentricScheduler::schedule(std::uint16_t layer, Stage stage,
                                         std::span<const ExpertDemand> demands,
                                         const hw::CostModel& costs,
-                                        double gpu_busy_until, double pcie_busy_until) {
+                                        double gpu_busy_until, double pcie_busy_until,
+                                        std::span<const double> link_busy) {
   SimOptions opt = impact_options();
   opt.gpu_busy_until = gpu_busy_until;
   opt.pcie_busy_until = pcie_busy_until;
+  opt.link_busy_until.assign(link_busy.begin(), link_busy.end());
   return simulate_layer(layer, stage, demands, costs, opt);
 }
 
@@ -92,15 +98,24 @@ bool StaticLayerScheduler::is_gpu_layer(std::uint16_t layer) const {
 LayerPlan StaticLayerScheduler::schedule(std::uint16_t layer, Stage stage,
                                          std::span<const ExpertDemand> demands,
                                          const hw::CostModel& costs,
-                                         double gpu_busy_until, double pcie_busy_until) {
-  // Residency is the static assignment, not the dynamic cache.
+                                         double gpu_busy_until, double pcie_busy_until,
+                                         std::span<const double> link_busy) {
+  // Residency is the static assignment, not the dynamic cache. GPU layers
+  // spread their experts across the topology's accelerators keyed by expert
+  // id — a *stable* placement: the same expert lands on the same device in
+  // every step, as a real static split would.
   std::vector<ExpertDemand> adjusted(demands.begin(), demands.end());
   const bool on_gpu = is_gpu_layer(layer);
-  for (auto& d : adjusted) d.cached = on_gpu;
+  const std::size_t num_accels = costs.num_accelerators();
+  for (auto& d : adjusted) {
+    d.cached = on_gpu;
+    if (on_gpu) d.cached_on = accelerator_device(d.expert % num_accels);
+  }
 
   SimOptions opt;
   opt.gpu_busy_until = gpu_busy_until;
   opt.pcie_busy_until = pcie_busy_until;
+  opt.link_busy_until.assign(link_busy.begin(), link_busy.end());
   opt.allow_transfers = false;
   opt.allow_cpu_steal = false;
   opt.allow_cpu = !on_gpu;

@@ -24,14 +24,18 @@ class LayerScheduler {
  public:
   virtual ~LayerScheduler() = default;
   [[nodiscard]] virtual std::string name() const = 0;
-  /// `gpu_busy_until`: GPU occupancy by the layer's dense phase (attention +
-  /// shared experts); routed GPU work is appended after it. `pcie_busy_until`:
-  /// in-flight transfers carried over from previous layers.
+  /// `gpu_busy_until`: accelerator occupancy by the layer's dense phase
+  /// (attention + shared experts); routed accelerator work is appended after
+  /// it. `pcie_busy_until`: in-flight transfers carried over from previous
+  /// layers on every link; `link_busy` optionally carries per-link values
+  /// (one entry per accelerator of the cost model's topology) and overrides
+  /// the scalar when non-empty.
   [[nodiscard]] virtual LayerPlan schedule(std::uint16_t layer, Stage stage,
                                            std::span<const ExpertDemand> demands,
                                            const hw::CostModel& costs,
                                            double gpu_busy_until = 0.0,
-                                           double pcie_busy_until = 0.0) = 0;
+                                           double pcie_busy_until = 0.0,
+                                           std::span<const double> link_busy = {}) = 0;
   /// Simulation options a prefetcher should use when estimating the impact
   /// of caching an extra expert under this scheduler.
   [[nodiscard]] virtual SimOptions impact_options() const { return SimOptions{}; }
@@ -46,7 +50,8 @@ class HybridScheduler final : public LayerScheduler {
                                    std::span<const ExpertDemand> demands,
                                    const hw::CostModel& costs,
                                    double gpu_busy_until = 0.0,
-                                   double pcie_busy_until = 0.0) override;
+                                   double pcie_busy_until = 0.0,
+                                   std::span<const double> link_busy = {}) override;
   [[nodiscard]] SimOptions impact_options() const override { return options_; }
 
  private:
@@ -64,7 +69,8 @@ class FixedMapScheduler final : public LayerScheduler {
                                    std::span<const ExpertDemand> demands,
                                    const hw::CostModel& costs,
                                    double gpu_busy_until = 0.0,
-                                   double pcie_busy_until = 0.0) override;
+                                   double pcie_busy_until = 0.0,
+                                   std::span<const double> link_busy = {}) override;
   [[nodiscard]] SimOptions impact_options() const override;
 };
 
@@ -77,7 +83,8 @@ class GpuCentricScheduler final : public LayerScheduler {
                                    std::span<const ExpertDemand> demands,
                                    const hw::CostModel& costs,
                                    double gpu_busy_until = 0.0,
-                                   double pcie_busy_until = 0.0) override;
+                                   double pcie_busy_until = 0.0,
+                                   std::span<const double> link_busy = {}) override;
   [[nodiscard]] SimOptions impact_options() const override;
 };
 
@@ -96,7 +103,8 @@ class StaticLayerScheduler final : public LayerScheduler {
                                    std::span<const ExpertDemand> demands,
                                    const hw::CostModel& costs,
                                    double gpu_busy_until = 0.0,
-                                   double pcie_busy_until = 0.0) override;
+                                   double pcie_busy_until = 0.0,
+                                   std::span<const double> link_busy = {}) override;
 
  private:
   std::size_t num_layers_;

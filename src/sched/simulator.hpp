@@ -1,24 +1,29 @@
 #pragma once
 
 /// \file simulator.hpp
-/// The greedy timeline-filling simulation at the heart of HybriMoE (§IV-B).
+/// The greedy timeline-filling simulation at the heart of HybriMoE (§IV-B),
+/// generalized from the paper's CPU/GPU pair to one CPU plus N accelerator
+/// devices (the cost model's hw::Topology).
 ///
 /// The paper reduces per-layer scheduling to an allocation problem
 /// (Eq. 2: minimise max(CPU_TIME, GPU_TIME)) constrained by three priority
 /// rules, then *simulates* execution to pick the allocation:
 ///
-///  * GPU priority  — cached experts, highest load first;
+///  * GPU priority  — cached experts, highest load first, on the device
+///                    holding the resident copy;
 ///  * CPU priority  — uncached experts, lowest load first; when its queue is
 ///                    empty the CPU steals low-load cached experts;
-///  * Transfer      — PCIe promotes the highest-load uncached expert to the
-///                    GPU when the simulated completion via GPU beats leaving
-///                    it on the CPU.
+///  * Transfer      — a link promotes the highest-load uncached expert to
+///                    the accelerator where the simulated completion is
+///                    earliest, when that beats leaving it on the CPU.
 ///
-/// Each simulation step advances the resource timeline with the earliest
-/// availability and commits its priority-selected operation. The committed
-/// trace *is* the schedule: in our discrete-event world, executing a plan is
-/// re-running this simulation, so the returned LayerPlan carries both the
-/// allocation and the timing.
+/// Each simulation step advances the resource timeline (one clock per
+/// device, one per link) with the earliest availability and commits its
+/// priority-selected operation. The committed trace *is* the schedule: in
+/// our discrete-event world, executing a plan is re-running this simulation,
+/// so the returned LayerPlan carries both the allocation and the timing.
+/// On a single-accelerator topology every decision and every float reduces
+/// to the historical pair formulation — plans are bit-identical.
 ///
 /// The same routine — with features disabled through SimOptions — also
 /// implements the baseline scheduling policies (kTransformers fixed mapping,
@@ -26,6 +31,7 @@
 /// comparisons isolate policy differences only.
 
 #include <span>
+#include <vector>
 
 #include "hw/cost_model.hpp"
 #include "sched/plan.hpp"
@@ -36,41 +42,49 @@ namespace hybrimoe::sched {
 struct SimOptions {
   /// CPU may compute uncached experts.
   bool allow_cpu = true;
-  /// PCIe may promote uncached experts to the GPU.
+  /// Links may promote uncached experts to an accelerator.
   bool allow_transfers = true;
-  /// Idle CPU may steal low-load *cached* experts from the GPU queue.
+  /// Idle CPU may steal low-load *cached* experts from accelerator queues.
   bool allow_cpu_steal = true;
-  /// Commit a transfer only when its simulated GPU completion beats the CPU
-  /// completion (the paper's simulation-evaluated choice). When allow_cpu is
-  /// false this check is vacuous — transfers are the only way to make
-  /// progress on uncached experts.
+  /// Commit a transfer only when its simulated accelerator completion beats
+  /// the CPU completion (the paper's simulation-evaluated choice). When
+  /// allow_cpu is false this check is vacuous — transfers are the only way
+  /// to make progress on uncached experts.
   bool transfer_only_if_beneficial = true;
   /// Symmetric check on the CPU side: the CPU takes its lowest-load uncached
-  /// expert only when finishing it there beats streaming it over PCIe at the
-  /// tail of the transfer chain. Keeps the CPU out of high-load prefill
-  /// work the GPU route would finish sooner. Vacuous when transfers are
-  /// disabled (the CPU is then the only route).
+  /// expert only when finishing it there beats streaming it at the tail of
+  /// the best link's transfer chain. Keeps the CPU out of high-load prefill
+  /// work an accelerator route would finish sooner. Vacuous when transfers
+  /// are disabled (the CPU is then the only route).
   bool cpu_only_if_beneficial = true;
   /// First CPU task of the layer pays the cold-start warmup penalty
   /// (paper Fig. 3e).
   bool cpu_cold_start = true;
-  /// The GPU is occupied until this time by the layer's dense work
+  /// Every accelerator is occupied until this time by the layer's dense work
   /// (attention + shared experts — see Fig. 5, where the shared expert block
-  /// precedes routed experts on the GPU). The CPU starts at time zero, which
-  /// is exactly how hybrid frameworks hide CPU misses under the dense phase.
+  /// precedes routed experts on the GPU; the dense pipeline is replicated
+  /// across devices). The CPU starts at time zero, which is exactly how
+  /// hybrid frameworks hide CPU misses under the dense phase.
   double gpu_busy_until = 0.0;
-  /// The PCIe link is occupied until this time by transfers still in flight
-  /// from previous layers (prefetches issued asynchronously). On-demand
-  /// transfers queue behind them — so aggressive prefetching *delays*
-  /// on-demand loads, a trade-off the beneficial-transfer check sees.
+  /// Every link is occupied until this time by transfers still in flight
+  /// from previous layers (prefetches issued asynchronously) — unless
+  /// link_busy_until provides per-link values. On-demand transfers queue
+  /// behind them — so aggressive prefetching *delays* on-demand loads, a
+  /// trade-off the beneficial-transfer check sees.
   double pcie_busy_until = 0.0;
+  /// Per-link carried occupancy, one entry per accelerator in topology
+  /// order. Empty: every link starts at pcie_busy_until. Non-empty: must
+  /// match the cost model's accelerator count.
+  std::vector<double> link_busy_until{};
 
+  /// Throws std::invalid_argument on inconsistent switches or negative times.
   void validate() const;
 };
 
 /// Run the greedy simulation for one layer.
 ///
-/// Preconditions: demands non-empty, loads positive, expert ids unique;
+/// Preconditions: demands non-empty, loads positive, expert ids unique,
+/// cached_on names an accelerator of the cost model's topology;
 /// if allow_cpu is false, allow_transfers must be true.
 [[nodiscard]] LayerPlan simulate_layer(std::uint16_t layer, Stage stage,
                                        std::span<const ExpertDemand> demands,
@@ -78,7 +92,10 @@ struct SimOptions {
                                        const SimOptions& options = {});
 
 /// Makespan the simulation would reach if `extra_cached` were already
-/// resident — the counterfactual the impact-driven prefetcher evaluates.
+/// resident on the primary accelerator — the counterfactual the
+/// impact-driven prefetcher evaluates. (The engine may route the actual
+/// upload to a less busy link; the primary-device counterfactual is the
+/// prefetcher's documented approximation on multi-device topologies.)
 [[nodiscard]] double makespan_with_extra_cached(std::uint16_t layer, Stage stage,
                                                 std::span<const ExpertDemand> demands,
                                                 std::uint16_t extra_cached,

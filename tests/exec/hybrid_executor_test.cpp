@@ -142,13 +142,16 @@ TEST(HybridExecutor, AsyncCopiesDoNotBlockTheLayer) {
   const auto costs = unit_costs();
   const auto demands = mixed_demands();
   const auto plan = sched::simulate_layer(0, Stage::Decode, demands, costs);
-  const std::vector<moe::ExpertId> prefetches{{1, 0}, {1, 1}, {1, 2}, {1, 3}};
+  const std::vector<AsyncCopy> prefetches{{.id = {1, 0}, .link = 0, .seconds = 10.0},
+                                          {.id = {1, 1}, .link = 0, .seconds = 10.0},
+                                          {.id = {1, 2}, .link = 0, .seconds = 10.0},
+                                          {.id = {1, 3}, .link = 0, .seconds = 10.0}};
 
   HybridExecutor executor(options_with(2));
   executor.begin_step();
   // Four speculative copies of 10 units each would add 12ms if the layer
   // waited on them; the layer window must not include that.
-  const auto result = executor.execute_layer(plan, 0.0, prefetches, 10.0);
+  const auto result = executor.execute_layer(plan, 0.0, prefetches);
   EXPECT_LT(result.measured, plan.makespan + 10.0);
   const auto step = executor.end_step();  // end_step drains them
   EXPECT_EQ(step.layers, 1u);

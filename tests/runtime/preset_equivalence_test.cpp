@@ -287,6 +287,80 @@ TEST_F(PresetEquivalenceTest, AblationVariantsReproduceLegacyBitForBit) {
   }
 }
 
+TEST_F(PresetEquivalenceTest, SingleDeviceTopologyReproducesPresetsBitForBit) {
+  // The acceptance bar of the multi-device generalization: a one-accelerator
+  // hw::Topology must be *indistinguishable* from the historical
+  // MachineProfile pair — same plans, same metrics, bit for bit — for every
+  // preset, through the whole engine loop (caches, prefetcher, maintenance).
+  const hw::CostModel topo_costs(
+      hw::Topology::from_machine(hw::MachineProfile::unit_test_machine()), model_);
+  for (const Framework framework : kAllFrameworks) {
+    auto pair_engine = make_engine(preset_spec(framework), costs_, info_);
+    auto topo_engine = make_engine(preset_spec(framework), topo_costs, info_);
+    EXPECT_EQ(topo_engine->num_devices(), 1u);
+    expect_identical(pair_engine->run_prefill(*prefill_),
+                     topo_engine->run_prefill(*prefill_),
+                     std::string(to_string(framework)) + " prefill (topology)");
+    expect_identical(pair_engine->run_decode(*decode_),
+                     topo_engine->run_decode(*decode_),
+                     std::string(to_string(framework)) + " decode (topology)");
+  }
+}
+
+TEST_F(PresetEquivalenceTest, SingleDeviceTopologyReproducesThreadedDigests) {
+  exec::ExecOptions options;
+  options.workers = 2;
+  options.time_scale = kExecScale;
+  info_.execution_mode = exec::ExecutionMode::Threaded;
+  info_.executor = std::make_shared<exec::HybridExecutor>(options);
+
+  const hw::CostModel topo_costs(
+      hw::Topology::from_machine(hw::MachineProfile::unit_test_machine()), model_);
+  for (const Framework framework : {Framework::HybriMoE, Framework::AdapMoE}) {
+    SCOPED_TRACE(to_string(framework));
+    auto pair_engine = make_engine(preset_spec(framework), costs_, info_);
+    const auto pair_metrics = pair_engine->run_decode(*decode_);
+    auto topo_engine = make_engine(preset_spec(framework), topo_costs, info_);
+    const auto topo_metrics = topo_engine->run_decode(*decode_);
+    EXPECT_NE(topo_metrics.exec_digest, 0U);
+    EXPECT_EQ(pair_metrics.exec_digest, topo_metrics.exec_digest);
+    EXPECT_EQ(pair_metrics.total_latency, topo_metrics.total_latency);
+    EXPECT_EQ(pair_metrics.per_forward, topo_metrics.per_forward);
+  }
+}
+
+TEST_F(PresetEquivalenceTest, MultiDeviceEngineDigestsMatchAcrossExecutionModes) {
+  // Dual-accelerator engine, simulated-with-executor vs threaded: the device
+  // assignment moves computation across lanes but must never change the
+  // result (the digest) or any modeled metric.
+  const hw::CostModel dual_costs(
+      hw::Topology::replicated(hw::MachineProfile::unit_test_machine(), 2), model_);
+  StackSpec spec = preset_spec(Framework::HybriMoE);
+
+  exec::ExecOptions options;
+  options.workers = 2;
+  options.time_scale = kExecScale;
+
+  EngineBuildInfo simulated = info_;
+  simulated.execution_mode = exec::ExecutionMode::Simulated;
+  simulated.executor = std::make_shared<exec::HybridExecutor>(options);
+  auto sim_engine = make_engine(spec, dual_costs, simulated);
+  EXPECT_EQ(sim_engine->num_devices(), 2u);
+  const auto sim_metrics = sim_engine->run_decode(*decode_);
+
+  EngineBuildInfo threaded = info_;
+  threaded.execution_mode = exec::ExecutionMode::Threaded;
+  threaded.executor = std::make_shared<exec::HybridExecutor>(options);
+  auto thr_engine = make_engine(spec, dual_costs, threaded);
+  const auto thr_metrics = thr_engine->run_decode(*decode_);
+
+  EXPECT_NE(sim_metrics.exec_digest, 0U);
+  EXPECT_EQ(sim_metrics.exec_digest, thr_metrics.exec_digest);
+  EXPECT_EQ(sim_metrics.total_latency, thr_metrics.total_latency);
+  EXPECT_EQ(sim_metrics.per_forward, thr_metrics.per_forward);
+  EXPECT_GT(thr_metrics.measured_latency, 0.0);
+}
+
 TEST_F(PresetEquivalenceTest, ThreadedExecutionDigestsMatchLegacy) {
   exec::ExecOptions options;
   options.workers = 2;

@@ -313,5 +313,74 @@ TEST_F(StackSpecEngineTest, ServeAcceptsSpecs) {
   EXPECT_EQ(preset.steps.total_latency, spec_run.steps.total_latency);
 }
 
+TEST(StackSpecTest, TopologySectionRoundTrips) {
+  StackSpec named;
+  named.topology.preset = "dual_a6000";
+  EXPECT_EQ(parse_stack_spec(to_json(named)), named);
+  EXPECT_NE(to_json(named).find("\"topology\": \"dual_a6000\""), std::string::npos);
+
+  StackSpec with_devices;
+  with_devices.topology.preset = "a6000_xeon10";
+  with_devices.topology.devices = 4;
+  EXPECT_EQ(parse_stack_spec(to_json(with_devices)), with_devices);
+
+  // Shorthand string and object forms agree.
+  const auto a = parse_stack_spec(R"({"topology": "quad_sim"})");
+  const auto b = parse_stack_spec(R"({"topology": {"preset": "quad_sim"}})");
+  EXPECT_EQ(a, b);
+
+  // Default specs carry no topology section at all (byte-stable presets).
+  EXPECT_TRUE(StackSpec{}.topology.empty());
+  EXPECT_EQ(to_json(StackSpec{}).find("topology"), std::string::npos);
+}
+
+TEST(StackSpecTest, TopologyValidationAndResolution) {
+  StackSpec unknown;
+  unknown.topology.preset = "dual_a600";  // typo
+  try {
+    unknown.validate();
+    FAIL() << "expected did-you-mean failure";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("dual_a6000"), std::string::npos);
+  }
+
+  StackSpec zero;
+  zero.topology.preset = "quad_sim";
+  zero.topology.devices = 0;
+  EXPECT_THROW(zero.validate(), std::invalid_argument);
+
+  // resolve_topology: presets resolve, the devices override replicates.
+  EXPECT_EQ(resolve_topology({}).num_accelerators(), 1u);
+  TopologySpec quad{.preset = "quad_sim", .devices = {}};
+  EXPECT_EQ(resolve_topology(quad).num_accelerators(), 4u);
+  TopologySpec scaled{.preset = "a6000_xeon10", .devices = 3};
+  const auto topo = resolve_topology(scaled);
+  EXPECT_EQ(topo.num_accelerators(), 3u);
+  EXPECT_EQ(topo.accelerators[2].name, "gpu2");
+}
+
+TEST_F(StackSpecEngineTest, TopologyMismatchWithCostModelIsRejected) {
+  ExperimentHarness harness(spec_);
+  StackSpec spec;
+  spec.topology.preset = "dual_a6000";  // 2 accelerators
+  // The fixture's harness cost model is the single-pair unit machine.
+  EXPECT_THROW((void)harness.build(spec), std::invalid_argument);
+}
+
+TEST_F(StackSpecEngineTest, MultiDeviceHarnessBuildsAndSplitsTheCache) {
+  spec_.topology = hw::Topology::replicated(hw::MachineProfile::unit_test_machine(), 2);
+  ExperimentHarness harness(spec_);
+  StackSpec spec;  // HybriMoE components, no explicit topology section
+  auto engine = harness.build(spec);
+  ASSERT_EQ(engine->num_devices(), 2u);
+  const std::size_t total =
+      engine->device_cache(0).capacity() + engine->device_cache(1).capacity();
+  EXPECT_EQ(total, cache::ExpertCache::capacity_for_ratio(spec_.model, 0.25));
+  // The run must produce finite, validated metrics on both devices.
+  const auto metrics = harness.run_decode(spec, 6);
+  EXPECT_GT(metrics.total_latency, 0.0);
+  EXPECT_EQ(metrics.per_forward.size(), 6u);
+}
+
 }  // namespace
 }  // namespace hybrimoe::runtime

@@ -78,7 +78,7 @@ TEST(AdversarialMachinesTest, CpuDominantMachinePrefersCpu) {
   // either computed on the GPU or stolen by the much faster CPU.
   for (const auto& t : plan.tasks) {
     if (!t.was_cached) {
-      EXPECT_EQ(t.device, ComputeDevice::Cpu);
+      EXPECT_EQ(t.device, kCpuDevice);
     }
   }
   EXPECT_EQ(plan.pcie_busy, 0.0);
@@ -103,7 +103,7 @@ TEST(AdversarialMachinesTest, FreeLinkStreamsHeavyWork) {
   // The heavy expert must go through the (free) link to the GPU.
   for (const auto& t : plan.tasks)
     if (t.load == 50) {
-      EXPECT_EQ(t.device, ComputeDevice::Gpu);
+      EXPECT_EQ(t.device, kGpuDevice);
       EXPECT_TRUE(t.transferred);
     }
 }

@@ -19,13 +19,13 @@ TEST_F(OptimalTest, SingleExpertChoosesCheaperDevice) {
   const std::vector<ExpertDemand> small = {{0, 1, false}};
   const auto r_small = optimal_layer_schedule(small, costs_);
   EXPECT_NEAR(r_small.makespan, 1.0, 1e-9);
-  EXPECT_EQ(r_small.assignment[0], ComputeDevice::Cpu);
+  EXPECT_EQ(r_small.assignment[0], kCpuDevice);
 
   // Load 10 uncached: transfer+GPU (3+1) beats CPU (10s).
   const std::vector<ExpertDemand> big = {{0, 10, false}};
   const auto r_big = optimal_layer_schedule(big, costs_);
   EXPECT_NEAR(r_big.makespan, 4.0, 1e-9);
-  EXPECT_EQ(r_big.assignment[0], ComputeDevice::Gpu);
+  EXPECT_EQ(r_big.assignment[0], kGpuDevice);
 }
 
 TEST_F(OptimalTest, Fig5InstanceOptimumIsFour) {
@@ -42,13 +42,13 @@ TEST_F(OptimalTest, RespectsFeatureSwitches) {
   SimOptions no_transfers;
   no_transfers.allow_transfers = false;
   const auto r = optimal_layer_schedule(demands, costs_, no_transfers);
-  EXPECT_EQ(r.assignment[0], ComputeDevice::Cpu);  // GPU route forbidden
+  EXPECT_EQ(r.assignment[0], kCpuDevice);  // GPU route forbidden
   EXPECT_NEAR(r.makespan, 10.0, 1e-9);
 
   SimOptions no_cpu;
   no_cpu.allow_cpu = false;
   const auto r2 = optimal_layer_schedule(demands, costs_, no_cpu);
-  EXPECT_EQ(r2.assignment[0], ComputeDevice::Gpu);
+  EXPECT_EQ(r2.assignment[0], kGpuDevice);
 }
 
 TEST_F(OptimalTest, NoStealKeepsCachedOnGpu) {
@@ -56,8 +56,8 @@ TEST_F(OptimalTest, NoStealKeepsCachedOnGpu) {
   SimOptions no_steal;
   no_steal.allow_cpu_steal = false;
   const auto r = optimal_layer_schedule(demands, costs_, no_steal);
-  EXPECT_EQ(r.assignment[0], ComputeDevice::Gpu);
-  EXPECT_EQ(r.assignment[1], ComputeDevice::Gpu);
+  EXPECT_EQ(r.assignment[0], kGpuDevice);
+  EXPECT_EQ(r.assignment[1], kGpuDevice);
   EXPECT_NEAR(r.makespan, 2.0, 1e-9);
   // With stealing allowed the CPU absorbs one and the optimum drops.
   const auto r2 = optimal_layer_schedule(demands, costs_);
@@ -121,7 +121,7 @@ TEST_F(OptimalTest, AssignmentMakespanMatchesBruteForceOrdering) {
   // Johnson's rule must beat or match a few arbitrary transfer orders.
   const std::vector<ExpertDemand> demands = {
       {0, 9, false}, {1, 2, false}, {2, 5, false}};
-  const std::vector<ComputeDevice> all_gpu(3, ComputeDevice::Gpu);
+  const std::vector<DeviceId> all_gpu(3, kGpuDevice);
   const double johnson = assignment_makespan(demands, all_gpu, costs_);
   // Brute force: the flow-shop optimum over 3! orders computed by hand is
   // bounded below by total transfer time + last GPU job.
@@ -132,7 +132,7 @@ TEST_F(OptimalTest, AssignmentMakespanMatchesBruteForceOrdering) {
 
 TEST_F(OptimalTest, AssignmentLengthValidated) {
   const std::vector<ExpertDemand> demands = {{0, 1, false}};
-  const std::vector<ComputeDevice> wrong(2, ComputeDevice::Cpu);
+  const std::vector<DeviceId> wrong(2, kCpuDevice);
   EXPECT_THROW((void)assignment_makespan(demands, wrong, costs_),
                std::invalid_argument);
 }

@@ -13,13 +13,13 @@ LayerPlan valid_plan() {
   ExpertTask cpu;
   cpu.expert = {2, 0};
   cpu.load = 2;
-  cpu.device = ComputeDevice::Cpu;
+  cpu.device = kCpuDevice;
   cpu.start = 0.0;
   cpu.end = 2.0;
   ExpertTask gpu;
   gpu.expert = {2, 1};
   gpu.load = 5;
-  gpu.device = ComputeDevice::Gpu;
+  gpu.device = kGpuDevice;
   gpu.transferred = true;
   gpu.transfer_start = 0.0;
   gpu.transfer_end = 3.0;
@@ -98,7 +98,7 @@ TEST(ValidatePlanTest, DetectsOverlapOnDevice) {
   ExpertTask extra;
   extra.expert = {2, 2};
   extra.load = 1;
-  extra.device = ComputeDevice::Cpu;
+  extra.device = kCpuDevice;
   extra.start = 1.0;  // overlaps [0,2) on the CPU
   extra.end = 2.5;
   plan.tasks.push_back(extra);

@@ -29,9 +29,9 @@ TEST_F(SchedulersTest, FixedMapDecodeMissesOnCpuHitsOnGpu) {
   EXPECT_TRUE(validate_plan(plan, demands_).empty());
   for (const auto& t : plan.tasks) {
     if (t.was_cached) {
-      EXPECT_EQ(t.device, ComputeDevice::Gpu) << t.expert.to_string();
+      EXPECT_EQ(t.device, kGpuDevice) << t.expert.to_string();
     } else {
-      EXPECT_EQ(t.device, ComputeDevice::Cpu) << t.expert.to_string();
+      EXPECT_EQ(t.device, kCpuDevice) << t.expert.to_string();
     }
     EXPECT_FALSE(t.transferred);
   }
@@ -43,7 +43,7 @@ TEST_F(SchedulersTest, FixedMapPrefillStreamsMissesNoCpu) {
   const auto plan = sched.schedule(0, Stage::Prefill, demands_, costs_);
   EXPECT_TRUE(validate_plan(plan, demands_).empty());
   for (const auto& t : plan.tasks) {
-    EXPECT_EQ(t.device, ComputeDevice::Gpu);
+    EXPECT_EQ(t.device, kGpuDevice);
     EXPECT_EQ(t.transferred, !t.was_cached);
   }
 }
@@ -53,7 +53,7 @@ TEST_F(SchedulersTest, GpuCentricNeverUsesCpu) {
   for (const auto stage : {Stage::Prefill, Stage::Decode}) {
     const auto plan = sched.schedule(0, stage, demands_, costs_);
     EXPECT_TRUE(validate_plan(plan, demands_).empty());
-    for (const auto& t : plan.tasks) EXPECT_EQ(t.device, ComputeDevice::Gpu);
+    for (const auto& t : plan.tasks) EXPECT_EQ(t.device, kGpuDevice);
   }
 }
 
@@ -66,7 +66,7 @@ TEST_F(SchedulersTest, StaticLayerAllOrNothing) {
     const bool on_gpu = sched.is_gpu_layer(l);
     gpu_layers += on_gpu ? 1 : 0;
     for (const auto& t : plan.tasks) {
-      EXPECT_EQ(t.device, on_gpu ? ComputeDevice::Gpu : ComputeDevice::Cpu);
+      EXPECT_EQ(t.device, on_gpu ? kGpuDevice : kCpuDevice);
       EXPECT_FALSE(t.transferred);  // static mapping never moves weights
     }
   }
@@ -102,7 +102,7 @@ TEST_F(SchedulersTest, GpuBusyUntilThreadsThrough) {
   EXPECT_DOUBLE_EQ(plan.pcie_offset, 1.0);
   EXPECT_GE(plan.makespan, 5.0);
   for (const auto& t : plan.tasks) {
-    if (t.device == ComputeDevice::Gpu) {
+    if (t.device == kGpuDevice) {
       EXPECT_GE(t.start, 5.0);
     }
   }

@@ -38,12 +38,12 @@ TEST_F(SimulatorTest, Fig5WorkedExample) {
   const auto* c = find_task(plan, 2);
   const auto* d = find_task(plan, 3);
   ASSERT_TRUE(a && b && c && d);
-  EXPECT_EQ(a->device, ComputeDevice::Cpu);
-  EXPECT_EQ(b->device, ComputeDevice::Cpu);
-  EXPECT_EQ(c->device, ComputeDevice::Gpu);
+  EXPECT_EQ(a->device, kCpuDevice);
+  EXPECT_EQ(b->device, kCpuDevice);
+  EXPECT_EQ(c->device, kGpuDevice);
   EXPECT_TRUE(c->transferred);
   EXPECT_GE(c->start, c->transfer_end);
-  EXPECT_EQ(d->device, ComputeDevice::Gpu);
+  EXPECT_EQ(d->device, kGpuDevice);
   EXPECT_FALSE(d->transferred);
 
   // Hybrid beats the no-transfer fixed mapping on this instance (4 vs 5).
@@ -67,9 +67,9 @@ TEST_F(SimulatorTest, Fig5StealWithBusyGpu) {
   EXPECT_TRUE(validate_plan(plan, demands).empty());
   const auto* e = find_task(plan, 4);
   ASSERT_TRUE(e != nullptr);
-  EXPECT_EQ(e->device, ComputeDevice::Cpu);  // stolen: CPU idle at t=1, GPU busy
+  EXPECT_EQ(e->device, kCpuDevice);  // stolen: CPU idle at t=1, GPU busy
   const auto* d = find_task(plan, 3);
-  EXPECT_EQ(d->device, ComputeDevice::Gpu);
+  EXPECT_EQ(d->device, kGpuDevice);
   EXPECT_GE(d->start, 1.5);
 }
 
@@ -127,7 +127,7 @@ TEST_F(SimulatorTest, NoTransferWhenCpuIsFaster) {
   // One small uncached expert: CPU (1s) beats transfer+GPU (3+1s).
   const std::vector<ExpertDemand> demands = {{0, 1, false}};
   const auto plan = simulate_layer(0, Stage::Decode, demands, costs_);
-  EXPECT_EQ(plan.tasks[0].device, ComputeDevice::Cpu);
+  EXPECT_EQ(plan.tasks[0].device, kCpuDevice);
   EXPECT_EQ(plan.pcie_busy, 0.0);
 }
 
@@ -138,13 +138,13 @@ TEST_F(SimulatorTest, GpuOffsetDelaysGpuNotCpu) {
   const auto plan = simulate_layer(0, Stage::Decode, demands, costs_, opt);
   EXPECT_TRUE(validate_plan(plan, demands).empty());
   for (const auto& t : plan.tasks) {
-    if (t.device == ComputeDevice::Gpu) {
+    if (t.device == kGpuDevice) {
       EXPECT_GE(t.start, 10.0);
     }
   }
   const auto* cpu_task = find_task(plan, 1);
   ASSERT_TRUE(cpu_task != nullptr);
-  EXPECT_EQ(cpu_task->device, ComputeDevice::Cpu);
+  EXPECT_EQ(cpu_task->device, kCpuDevice);
   EXPECT_DOUBLE_EQ(cpu_task->start, 0.0);
   EXPECT_GE(plan.makespan, 10.0);
 }

@@ -38,6 +38,8 @@ constexpr const char* kUsage = R"(usage: hybrimoe_run [stack] [options]
 
 options:
   --model NAME          deepseek | qwen2 | mixtral | tiny   (default deepseek)
+  --topology NAME[:N]   topology preset, optional device-count override
+                        (default: the spec's topology, else a6000_xeon10)
   --cache-ratio R       GPU expert cache ratio in [0,1]     (default 0.25)
   --requests N          number of requests in the stream    (default 12)
   --rate R              mean arrival rate, requests/second  (default 1.0)
@@ -69,6 +71,7 @@ moe::ModelConfig model_from_name(const std::string& name) {
 struct Options {
   std::string stack_arg = "HybriMoE";
   std::string model = "deepseek";
+  std::string topology;  ///< "preset" or "preset:N"; empty = spec's choice
   double cache_ratio = 0.25;
   std::size_t requests = 12;
   double rate = 1.0;
@@ -124,6 +127,8 @@ Options parse_options(int argc, char** argv) {
       opts.burst = true;
     } else if (arg == "--model") {
       opts.model = next(i, "--model");
+    } else if (arg == "--topology") {
+      opts.topology = next(i, "--topology");
     } else if (arg == "--cache-ratio") {
       opts.cache_ratio = to_double("--cache-ratio", next(i, "--cache-ratio"));
     } else if (arg == "--requests") {
@@ -178,9 +183,29 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // Device complement: --topology overrides the spec's own topology
+    // section; either way the cost model is built from the resolved result.
+    if (!opts.topology.empty()) {
+      runtime::TopologySpec topo;
+      const auto colon = opts.topology.find(':');
+      topo.preset = opts.topology.substr(0, colon);
+      if (colon != std::string::npos) {
+        const std::string count = opts.topology.substr(colon + 1);
+        try {
+          std::size_t consumed = 0;
+          topo.devices = std::stoul(count, &consumed);
+          if (consumed != count.size()) throw std::invalid_argument(count);
+        } catch (const std::exception&) {
+          throw std::invalid_argument("--topology device count '" + count +
+                                      "' is not a number");
+        }
+      }
+      stack.topology = topo;
+    }
     runtime::ExperimentSpec spec;
     spec.model = model_from_name(opts.model);
     spec.machine = hw::MachineProfile::a6000_xeon10();
+    spec.topology = runtime::resolve_topology(stack.topology);
     spec.cache_ratio = opts.cache_ratio;
     spec.trace.seed = opts.seed;
     runtime::ExperimentHarness harness(spec);
@@ -200,8 +225,9 @@ int main(int argc, char** argv) {
     std::cout << "stack   : " << stack.display_name() << "\n"
               << "spec    : " << runtime::to_json(stack) << "\n"
               << "model   : " << spec.model.name << " @ "
-              << opts.cache_ratio * 100 << "% cache, machine "
-              << spec.machine.name << "\n"
+              << opts.cache_ratio * 100 << "% cache\n"
+              << "topology: " << spec.topology->name << " ("
+              << spec.topology->num_accelerators() << " accelerator(s))\n"
               << "stream  : " << opts.requests << " requests, "
               << to_string(stream.process) << " arrivals @ " << opts.rate
               << " req/s, seed " << opts.seed << "\n\n";
