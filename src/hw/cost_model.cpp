@@ -14,6 +14,43 @@ CostModel::CostModel(Topology topology, moe::ModelConfig model)
   topology_.validate();
   model_.validate();
   machine_ = topology_.primary_machine();
+  accel_available_.assign(topology_.accelerators.size(), 1);
+  link_scale_.assign(topology_.accelerators.size(), 1.0);
+}
+
+bool CostModel::accelerator_available(std::size_t accel) const {
+  HYBRIMOE_REQUIRE(accel < topology_.accelerators.size(),
+                   "accelerator index out of range");
+  return accel_available_[accel] != 0;
+}
+
+void CostModel::set_accelerator_available(std::size_t accel, bool available) {
+  HYBRIMOE_REQUIRE(accel < topology_.accelerators.size(),
+                   "accelerator index out of range");
+  if (!available) {
+    HYBRIMOE_REQUIRE(accel >= 1,
+                     "the primary accelerator (index 0) cannot be lost — it "
+                     "hosts the dense pipeline");
+    HYBRIMOE_REQUIRE(accel_available_[accel] != 0,
+                     "losing an already-lost accelerator");
+  } else {
+    HYBRIMOE_REQUIRE(accel_available_[accel] == 0,
+                     "recovering an accelerator that is still available");
+  }
+  accel_available_[accel] = available ? 1 : 0;
+}
+
+double CostModel::link_bandwidth_scale(std::size_t accel) const {
+  HYBRIMOE_REQUIRE(accel < topology_.accelerators.size(),
+                   "accelerator index out of range");
+  return link_scale_[accel];
+}
+
+void CostModel::set_link_bandwidth_scale(std::size_t accel, double scale) {
+  HYBRIMOE_REQUIRE(accel < topology_.accelerators.size(),
+                   "accelerator index out of range");
+  HYBRIMOE_REQUIRE(scale > 0.0, "link bandwidth scale must be positive");
+  link_scale_[accel] = scale;
 }
 
 double CostModel::compute_time(const ComputeDeviceParams& dev, double flops, double bytes,
@@ -45,15 +82,19 @@ double CostModel::gpu_expert_time(std::size_t tokens, std::size_t accel) const {
 }
 
 double CostModel::transfer_time() const noexcept {
+  // bandwidth * 1.0 is exact, so a healthy link is bit-identical to the
+  // pre-fault model.
   const TransferLinkParams& link = topology_.accelerators.front().link;
-  return link.latency + static_cast<double>(model_.routed_expert_bytes()) / link.bandwidth;
+  return link.latency + static_cast<double>(model_.routed_expert_bytes()) /
+                            (link.bandwidth * link_scale_.front());
 }
 
 double CostModel::transfer_time(std::size_t accel) const {
   HYBRIMOE_REQUIRE(accel < topology_.accelerators.size(),
                    "accelerator index out of range");
   const TransferLinkParams& link = topology_.accelerators[accel].link;
-  return link.latency + static_cast<double>(model_.routed_expert_bytes()) / link.bandwidth;
+  return link.latency + static_cast<double>(model_.routed_expert_bytes()) /
+                            (link.bandwidth * link_scale_[accel]);
 }
 
 double CostModel::shared_experts_time(std::size_t tokens) const {

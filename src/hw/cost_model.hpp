@@ -25,7 +25,9 @@
 /// historical CPU+GPU-pair model, bit for bit.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "hw/topology.hpp"
 #include "moe/model_config.hpp"
@@ -80,11 +82,31 @@ class CostModel {
   /// Set the fixed per-layer framework overhead in seconds.
   void set_layer_overhead(double seconds) noexcept { layer_overhead_ = seconds; }
 
+  // -- Fault injection (scenario layer) -----------------------------------
+  // Runtime device/link health. The default state (every device available,
+  // every link at scale 1.0) is bit-identical to the pre-fault model: the
+  // availability flag is only consulted by schedulers that ask, and a link
+  // scale of exactly 1.0 multiplies bandwidth by 1.0.
+
+  /// Whether accelerator `accel` is currently reachable.
+  [[nodiscard]] bool accelerator_available(std::size_t accel) const;
+  /// Mark accelerator `accel` lost (false) or recovered (true). Accelerator
+  /// 0 hosts the dense pipeline and cannot be lost; losing a lost device or
+  /// recovering an available device throws std::invalid_argument.
+  void set_accelerator_available(std::size_t accel, bool available);
+  /// Current bandwidth multiplier on accelerator `accel`'s link.
+  [[nodiscard]] double link_bandwidth_scale(std::size_t accel) const;
+  /// Scale accelerator `accel`'s link bandwidth (straggler injection).
+  /// `scale` must be positive; 1.0 restores the healthy link.
+  void set_link_bandwidth_scale(std::size_t accel, double scale);
+
  private:
   Topology topology_;
   MachineProfile machine_;  ///< primary pair view, kept for legacy interfaces
   moe::ModelConfig model_;
   double layer_overhead_ = 0.0;
+  std::vector<std::uint8_t> accel_available_;  ///< per-accelerator health
+  std::vector<double> link_scale_;             ///< per-link bandwidth multiplier
 };
 
 }  // namespace hybrimoe::hw

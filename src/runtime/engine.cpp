@@ -65,6 +65,13 @@ double OffloadEngine::run_step(const workload::ForwardTrace& forward,
   const std::size_t num_devices = caches_.size();
   std::vector<double> xfer(num_devices);
   for (std::size_t a = 0; a < num_devices; ++a) xfer[a] = costs_.transfer_time(a);
+  if (metrics.device_transfers.size() != num_devices)
+    metrics.device_transfers.resize(num_devices, 0);
+  // Device health snapshot for this step: a lost accelerator is never probed
+  // for residency and never a transfer target (scenario device_loss).
+  std::vector<std::uint8_t> available(num_devices, 1);
+  for (std::size_t a = 0; a < num_devices; ++a)
+    available[a] = costs_.accelerator_available(a) ? 1 : 0;
   double latency = 0.0;
 
   // Execution backend (optional): Threaded lowers every plan onto real
@@ -140,6 +147,7 @@ double OffloadEngine::run_step(const workload::ForwardTrace& forward,
         ++transient_hits;
       } else {
         for (std::size_t a = 0; a < num_devices; ++a) {
+          if (available[a] == 0) continue;
           if (caches_[a]->probe(id)) {
             hit = true;
             resident_on = sched::accelerator_device(a);
@@ -177,6 +185,7 @@ double OffloadEngine::run_step(const workload::ForwardTrace& forward,
     for (const auto& t : plan.tasks) {
       if (!t.transferred) continue;
       ++metrics.transfers;
+      ++metrics.device_transfers[t.device.accel_index()];
       if (components_.dynamic_cache_inserts && !is_prefill)
         (void)caches_[t.device.accel_index()]->insert(t.expert, activated_ids);
     }
@@ -190,9 +199,11 @@ double OffloadEngine::run_step(const workload::ForwardTrace& forward,
     // Upload placement order: least-loaded link first (lowest index on
     // ties). An upload rejected by one device's cache falls through to the
     // next link, so a full or zero-capacity device never starves the rest.
-    const auto links_by_cursor = [&link_cursor] {
-      std::vector<std::size_t> order(link_cursor.size());
-      for (std::size_t a = 0; a < order.size(); ++a) order[a] = a;
+    const auto links_by_cursor = [&link_cursor, &available] {
+      std::vector<std::size_t> order;
+      order.reserve(link_cursor.size());
+      for (std::size_t a = 0; a < link_cursor.size(); ++a)
+        if (available[a] != 0) order.push_back(a);
       std::stable_sort(order.begin(), order.end(), [&link_cursor](auto a, auto b) {
         return link_cursor[a] < link_cursor[b];
       });
@@ -244,6 +255,7 @@ double OffloadEngine::run_step(const workload::ForwardTrace& forward,
         }
         if (uploaded) {
           ++metrics.prefetches;
+          ++metrics.device_transfers[placed_on];
           metrics.pcie_busy += xfer[placed_on];
           link_cursor[placed_on] += xfer[placed_on];
           async_copies.push_back({d.expert, placed_on, xfer[placed_on]});
@@ -288,6 +300,7 @@ double OffloadEngine::run_step(const workload::ForwardTrace& forward,
           }
           if (target.insert(id).inserted) {
             ++metrics.maintenance;
+            ++metrics.device_transfers[a];
             metrics.pcie_busy += xfer[a];
             link_cursor[a] += xfer[a];
             async_copies.push_back({id, a, xfer[a]});

@@ -35,6 +35,11 @@ struct StageMetrics {
   std::size_t transfers = 0;      ///< on-demand expert uploads
   std::size_t prefetches = 0;     ///< speculative uploads
   std::size_t maintenance = 0;    ///< score-driven cache admissions
+  /// Cumulative expert uploads (on-demand + prefetch + maintenance) per
+  /// target accelerator — the conservation witness scenario invariants
+  /// check: no entry of a lost device may grow while it is lost. Sized on
+  /// first run_step; empty until then.
+  std::vector<std::size_t> device_transfers;
 
   /// Wall-clock latency measured by the threaded execution backend,
   /// re-expressed in modeled seconds (wall / time_scale) so it is directly

@@ -6,8 +6,19 @@
 
 namespace hybrimoe::runtime {
 
+void TierPolicy::validate() const {
+  HYBRIMOE_REQUIRE(tbt_slo >= 0.0, "tier 'tbt_slo' must be non-negative");
+  HYBRIMOE_REQUIRE(ttft_deadline >= 0.0, "tier 'ttft_deadline' must be non-negative");
+  HYBRIMOE_REQUIRE(!queue_capacity.has_value() || *queue_capacity >= 1,
+                   "a zero-capacity tier queue admits nothing — use a "
+                   "capacity >= 1 or leave the tier unbounded");
+}
+
 void ServeOptions::validate() const {
   HYBRIMOE_REQUIRE(max_batch > 0, "max_batch must be positive");
+  HYBRIMOE_REQUIRE(max_consecutive_preemptions >= 1,
+                   "max_consecutive_preemptions must be >= 1");
+  for (const TierPolicy& tier : tiers) tier.validate();
 }
 
 namespace {
@@ -56,9 +67,12 @@ ServeMetrics ServeEngine::run(std::vector<Request> requests,
                               const ServeOptions& options) {
   options.validate();
   HYBRIMOE_REQUIRE(!requests.empty(), "serving an empty request stream");
+  // (arrival, id) order — the tie-break rule documented in request.hpp.
   std::stable_sort(requests.begin(), requests.end(), [](const Request& a,
                                                         const Request& b) {
-    return a.spec.arrival_time < b.spec.arrival_time;
+    if (a.spec.arrival_time != b.spec.arrival_time)
+      return a.spec.arrival_time < b.spec.arrival_time;
+    return a.spec.id < b.spec.id;
   });
   for (const Request& r : requests) {
     HYBRIMOE_REQUIRE(r.state == RequestState::Queued && r.next_chunk == 0 &&
@@ -85,6 +99,7 @@ ServeMetrics ServeEngine::run(std::vector<Request> requests,
   for (std::size_t i = 0; i < requests.size(); ++i) {
     RequestMetrics& m = metrics.requests[i];
     m.id = requests[i].spec.id;
+    m.priority = requests[i].spec.priority;
     m.arrival = requests[i].spec.arrival_time;
     m.prompt_tokens = requests[i].spec.prompt_tokens;
   }
@@ -93,35 +108,141 @@ ServeMetrics ServeEngine::run(std::vector<Request> requests,
 
   double clock = 0.0;
   std::size_t next_arrival = 0;
-  std::size_t finished = 0;
+  std::size_t terminal = 0;  // finished + rejected
   bool any_decode = false;
-  std::vector<Request*> active;  // admission order == decode order
+  std::vector<Request*> waiting;  // surfaced, unadmitted; (arrival, id) order
+  std::vector<Request*> active;   // admission order == decode order
   std::vector<const workload::ForwardTrace*> parts;
   std::vector<Request*> decoding;
+  // Running step-latency estimates for the preemption decision: the latest
+  // observed latency of a step with / without a prefill chunk. Negative
+  // until observed — no preemption before both regimes have been seen.
+  double est_prefill = -1.0;
+  double est_decode = -1.0;
   const auto index_of = [&](const Request* r) {
     return static_cast<std::size_t>(r - requests.data());
   };
+  const auto tier_of = [&](const Request* r) -> const TierPolicy& {
+    return options.tiers[workload::priority_index(r->spec.priority)];
+  };
+  const auto reject = [&](Request& r) {
+    r.state = RequestState::Rejected;
+    metrics.requests[index_of(&r)].rejected = true;
+    ++terminal;
+  };
 
-  while (finished < requests.size()) {
-    // FIFO admission while the batch has capacity.
+  while (terminal < requests.size()) {
+    // Surface arrivals. A request whose total token budget exceeds the
+    // context window is rejected outright — it could never be scheduled.
     while (next_arrival < requests.size() &&
-           requests[next_arrival].spec.arrival_time <= clock &&
-           active.size() < options.max_batch) {
+           requests[next_arrival].spec.arrival_time <= clock) {
       Request& r = requests[next_arrival++];
+      if (options.max_context_tokens > 0 &&
+          r.spec.prompt_tokens + r.spec.decode_tokens > options.max_context_tokens) {
+        reject(r);
+        continue;
+      }
+      waiting.push_back(&r);
+    }
+
+    // Deadline-aware rejection: a request still waiting past its tier's
+    // TTFT deadline will miss it no matter what — turn it away now.
+    std::erase_if(waiting, [&](Request* r) {
+      const TierPolicy& tier = tier_of(r);
+      if (tier.ttft_deadline <= 0.0 ||
+          clock <= r->spec.arrival_time + tier.ttft_deadline)
+        return false;
+      reject(*r);
+      return true;
+    });
+
+    // Tier queue pressure: drop the newest overflow of any bounded tier.
+    for (std::size_t t = 0; t < options.tiers.size(); ++t) {
+      if (!options.tiers[t].queue_capacity.has_value()) continue;
+      const std::size_t cap = *options.tiers[t].queue_capacity;
+      std::size_t count = 0;
+      for (const Request* r : waiting)
+        count += workload::priority_index(r->spec.priority) == t ? 1 : 0;
+      // waiting is (arrival, id)-ordered, so reverse iteration drops the
+      // latest-arrived first.
+      for (std::size_t i = waiting.size(); count > cap && i-- > 0;) {
+        if (workload::priority_index(waiting[i]->spec.priority) != t) continue;
+        reject(*waiting[i]);
+        waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(i));
+        --count;
+      }
+    }
+
+    // Admission while the batch has capacity: FIFO by default; with
+    // priority_admission the highest tier wins (FIFO within a tier — the
+    // first max-tier element of the ordered waiting queue).
+    while (!waiting.empty() && active.size() < options.max_batch) {
+      std::size_t pick = 0;
+      if (options.priority_admission) {
+        for (std::size_t i = 1; i < waiting.size(); ++i)
+          if (waiting[i]->spec.priority > waiting[pick]->spec.priority) pick = i;
+      }
+      Request& r = *waiting[pick];
+      waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(pick));
       r.admit_time = clock;
       r.state = r.prefill_chunks.empty() ? RequestState::Decode : RequestState::Prefill;
       metrics.requests[index_of(&r)].admit = clock;
       active.push_back(&r);
     }
     if (active.empty()) {
+      if (terminal == requests.size()) break;  // everything rejected
       // Nothing in flight: idle until the next arrival.
       HYBRIMOE_ASSERT(next_arrival < requests.size(), "serve loop stalled");
       clock = std::max(clock, requests[next_arrival].spec.arrival_time);
       continue;
     }
 
-    // Compose the step: at most one prefill chunk (earliest-admitted request
-    // still prefilling) plus every active decode.
+    const std::size_t step_index = steps.per_forward.size();
+    if (options.hook != nullptr)
+      options.hook->before_step(step_index, clock, *engine_);
+
+    // The prefill candidate: earliest-admitted request still prefilling
+    // (paused or not). With preemption enabled, defer its chunk when running
+    // it would push a higher-tier active decode past its tier's TBT SLO —
+    // unless the candidate already sat out max_consecutive_preemptions
+    // steps (the no-starvation valve).
+    Request* candidate = nullptr;
+    for (Request* r : active) {
+      if (r->state == RequestState::Prefill || r->state == RequestState::Preempted) {
+        candidate = r;
+        break;
+      }
+    }
+    bool defer = false;
+    if (options.preemption && candidate != nullptr && est_prefill > 0.0 &&
+        est_decode > 0.0 && est_decode < est_prefill &&
+        candidate->preempt_streak < options.max_consecutive_preemptions) {
+      for (const Request* d : active) {
+        if (d->state != RequestState::Decode) continue;
+        if (!(d->spec.priority > candidate->spec.priority)) continue;
+        const TierPolicy& tier = tier_of(d);
+        if (tier.tbt_slo <= 0.0) continue;
+        // A decode that has not emitted yet has no inter-token gap to protect.
+        if (d->prefill_chunks.empty() && d->next_step == 0) continue;
+        if ((clock - d->last_token_time) + est_prefill > tier.tbt_slo) {
+          defer = true;
+          break;
+        }
+      }
+    }
+    if (candidate != nullptr) {
+      if (defer) {
+        if (candidate->state == RequestState::Prefill) candidate->preempt(clock);
+        ++candidate->preempt_streak;
+        metrics.requests[index_of(candidate)].preemptions = candidate->preemptions;
+      } else if (candidate->state == RequestState::Preempted) {
+        candidate->resume(clock);
+      }
+    }
+
+    // Compose the step: the candidate's chunk (unless deferred) plus every
+    // active decode, in admission order — merge order is float-sensitive,
+    // so parts must appear exactly as the batch iterates.
     parts.clear();
     decoding.clear();
     Request* prefilling = nullptr;
@@ -129,25 +250,35 @@ ServeMetrics ServeEngine::run(std::vector<Request> requests,
     std::size_t decode_tokens = 0;
     for (Request* r : active) {
       if (r->state == RequestState::Prefill) {
-        if (prefilling != nullptr) continue;  // one chunk per step
+        if (r != candidate || defer || prefilling != nullptr) continue;
         prefilling = r;
         const workload::ForwardTrace& chunk = r->prefill_chunks[r->next_chunk].forward;
         parts.push_back(&chunk);
         prefill_tokens += chunk.tokens;
-      } else {
-        HYBRIMOE_ASSERT(r->state == RequestState::Decode, "active request not runnable");
+      } else if (r->state == RequestState::Decode) {
         const workload::ForwardTrace& step = r->decode.steps[r->next_step];
         parts.push_back(&step);
         decode_tokens += step.tokens;
         decoding.push_back(r);
       }
+      // Preempted requests (and prefills behind the candidate) sit the
+      // step out.
     }
     HYBRIMOE_ASSERT(!parts.empty(), "composed an empty step");
+    const std::size_t batch_size = active.size();
     const sched::Stage stage = sched::dominant_stage(prefill_tokens, decode_tokens);
     if (!decoding.empty()) any_decode = true;
 
+    const double start_clock = clock;
     double latency;
-    if (parts.size() == 1) {
+    if (options.hook != nullptr) {
+      // The transform hook needs a mutable copy even for single-part steps.
+      workload::ForwardTrace merged = parts.size() == 1
+                                          ? *parts.front()
+                                          : workload::merge_forward_traces(parts);
+      options.hook->transform_step(step_index, merged);
+      latency = engine_->run_step(merged, stage, steps);
+    } else if (parts.size() == 1) {
       latency = engine_->run_step(*parts.front(), stage, steps);
     } else {
       const workload::ForwardTrace merged = workload::merge_forward_traces(parts);
@@ -157,6 +288,11 @@ ServeMetrics ServeEngine::run(std::vector<Request> requests,
     steps.total_latency += latency;
     steps.tokens += prefill_tokens + decode_tokens;
     clock += latency;
+    if (prefilling != nullptr) {
+      est_prefill = latency;
+    } else {
+      est_decode = latency;
+    }
 
     // Lifecycle bookkeeping at the step's completion instant.
     if (prefilling != nullptr) {
@@ -174,7 +310,7 @@ ServeMetrics ServeEngine::run(std::vector<Request> requests,
           prefilling->state = RequestState::Finished;
           prefilling->finish_time = clock;
           m.finish = clock;
-          ++finished;
+          ++terminal;
         }
       }
     }
@@ -194,11 +330,24 @@ ServeMetrics ServeEngine::run(std::vector<Request> requests,
         r->state = RequestState::Finished;
         r->finish_time = clock;
         m.finish = clock;
-        ++finished;
+        ++terminal;
       }
     }
     std::erase_if(active,
                   [](const Request* r) { return r->state == RequestState::Finished; });
+
+    if (options.hook != nullptr) {
+      StepInfo info;
+      info.index = step_index;
+      info.start_clock = start_clock;
+      info.end_clock = clock;
+      info.latency = latency;
+      info.stage = stage;
+      info.prefill_tokens = prefill_tokens;
+      info.decode_tokens = decode_tokens;
+      info.active_requests = batch_size;
+      options.hook->after_step(info, steps);
+    }
   }
 
   metrics.makespan = clock;
@@ -209,15 +358,21 @@ ServeMetrics ServeEngine::run(std::vector<Request> requests,
   stats.hits += steps.cache.hits;
   steps.cache = stats;
 
-  // Finished-request accounting: every request ran to completion with
-  // exactly its budgeted tokens.
+  // Terminal accounting: every request either ran to completion with
+  // exactly its budgeted tokens, or was rejected and emitted none.
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const Request& r = requests[i];
+    if (r.state == RequestState::Rejected) {
+      HYBRIMOE_ASSERT(metrics.requests[i].generated_tokens == 0,
+                      "rejected request emitted tokens");
+      continue;
+    }
     HYBRIMOE_ASSERT(r.state == RequestState::Finished, "unfinished request at exit");
     const std::size_t expected =
         (r.spec.prompt_tokens > 0 ? 1 : 0) + r.spec.decode_tokens;
     HYBRIMOE_ASSERT(metrics.requests[i].generated_tokens == expected,
                     "request token accounting mismatch");
+    metrics.requests[i].preemptions = r.preemptions;
   }
   return metrics;
 }

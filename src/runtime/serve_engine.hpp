@@ -13,11 +13,31 @@
 ///
 /// Time is the cost model's virtual clock: each composed step advances it by
 /// the step's simulated latency; idle gaps waiting for the next arrival
-/// advance it to that arrival. Admission is FIFO in arrival order with a
-/// `max_batch` cap, so no request starves: slots free as requests finish and
-/// the queue drains in order.
+/// advance it to that arrival.
+///
+/// Admission is FIFO in (arrival, id) order with a `max_batch` cap by
+/// default, so no request starves: slots free as requests finish and the
+/// queue drains in order. Three opt-in policies layer on top (each is
+/// default-off and, when off, leaves the serving loop bit-identical to the
+/// plain FIFO engine):
+///  * priority_admission — waiting requests are admitted highest tier first
+///    (VIP > standard > best-effort), FIFO within a tier;
+///  * per-tier admission control — a tier with a `ttft_deadline` rejects
+///    requests still queued past it, a tier with a `queue_capacity` rejects
+///    the newest overflow, and `max_context_tokens` rejects requests whose
+///    prompt + decode budget exceeds the context window (all rejections are
+///    terminal: the request is recorded with rejected=true and emits no
+///    tokens);
+///  * preemption — a long prefill is paused at a chunk boundary whenever
+///    composing its next chunk would push a *higher-tier* active decode past
+///    its tier's TBT SLO; the decode-only step runs instead, and the prefill
+///    resumes once the pressure clears (or unconditionally after
+///    `max_consecutive_preemptions` deferred steps — the no-starvation
+///    valve).
 
+#include <array>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -28,6 +48,65 @@
 
 namespace hybrimoe::runtime {
 
+/// Completed-step summary handed to StepHook::after_step.
+struct StepInfo {
+  std::size_t index = 0;        ///< engine step index (0-based, idle gaps excluded)
+  double start_clock = 0.0;     ///< serving clock when the step began
+  double end_clock = 0.0;       ///< serving clock after the step's latency
+  double latency = 0.0;         ///< modeled step latency
+  sched::Stage stage = sched::Stage::Prefill;  ///< dominant scheduling regime
+  std::size_t prefill_tokens = 0;
+  std::size_t decode_tokens = 0;
+  std::size_t active_requests = 0;  ///< batch size when the step ran
+};
+
+/// Observation/perturbation points around every composed serving step — the
+/// seam the scenario fault drivers (scenario/drivers.hpp) plug into. All
+/// callbacks default to no-ops; ServeOptions::hook == nullptr skips them
+/// entirely (and keeps the single-part fast path, so hook-free serving is
+/// bit-identical to the pre-hook engine).
+class StepHook {
+ public:
+  virtual ~StepHook() = default;
+  /// Before the step's batch is composed: mutate engine/topology state
+  /// (degrade a link, lose a device) as of serving instant `clock`.
+  virtual void before_step(std::size_t step_index, double clock,
+                           OffloadEngine& engine) {
+    (void)step_index, (void)clock, (void)engine;
+  }
+  /// After merging, before execution: perturb the step's routing trace
+  /// (cache-thrash rotation). Only called when a hook is installed.
+  virtual void transform_step(std::size_t step_index,
+                              workload::ForwardTrace& merged) {
+    (void)step_index, (void)merged;
+  }
+  /// After the step completed and the clock advanced; `steps` holds the
+  /// cumulative engine counters (device_transfers et al.).
+  virtual void after_step(const StepInfo& info, const StageMetrics& steps) {
+    (void)info, (void)steps;
+  }
+};
+
+/// Admission/SLO policy of one priority tier (ServeOptions::tiers, indexed
+/// by workload::priority_index). All fields default to "no policy".
+struct TierPolicy {
+  /// Target inter-token gap for this tier's decodes; 0 = no SLO. Drives
+  /// preemption: a lower-tier prefill defers when it would push one of this
+  /// tier's decodes past the SLO.
+  double tbt_slo = 0.0;
+  /// Reject a request still waiting `ttft_deadline` after its arrival;
+  /// 0 = wait forever.
+  double ttft_deadline = 0.0;
+  /// Maximum waiting (surfaced, unadmitted) requests of this tier; the
+  /// newest overflow is rejected. Unset = unbounded. 0 is invalid — a tier
+  /// that admits nothing is a configuration error, not a policy.
+  std::optional<std::size_t> queue_capacity;
+
+  /// \brief Throws std::invalid_argument on negative SLOs/deadlines or a
+  /// zero-capacity queue.
+  void validate() const;
+};
+
 /// Serving-loop knobs.
 struct ServeOptions {
   /// Maximum concurrently active (admitted, unfinished) requests.
@@ -36,6 +115,23 @@ struct ServeOptions {
   /// at most this many tokens (0 = whole prompt in one step), and
   /// ServeEngine::run enforces that the requests it is handed respect it.
   std::size_t max_prefill_chunk = 0;
+
+  /// Admit highest tier first (FIFO within a tier). Off: pure FIFO.
+  bool priority_admission = false;
+  /// Pause lower-tier prefills at chunk boundaries to protect higher-tier
+  /// decode SLOs (see the file comment). Off: prefills never defer.
+  bool preemption = false;
+  /// No-starvation valve: after this many consecutively deferred steps the
+  /// prefill runs regardless of SLO pressure. Must be >= 1.
+  std::size_t max_consecutive_preemptions = 4;
+  /// Context window: reject requests with prompt + decode budget above this
+  /// many tokens. 0 = unlimited.
+  std::size_t max_context_tokens = 0;
+  /// Per-tier admission/SLO policy, indexed by workload::priority_index.
+  std::array<TierPolicy, workload::kNumPriorities> tiers{};
+  /// Step observation/perturbation hook (scenario drivers). Not owned; must
+  /// outlive the run. nullptr = no hook (the bit-identical default).
+  StepHook* hook = nullptr;
 
   /// \brief Throws std::invalid_argument on structurally invalid options.
   void validate() const;
@@ -66,10 +162,12 @@ class ServeEngine {
 
   /// \brief Serve the stream to completion. Requests must be freshly
   /// materialised (Queued, cursors at zero, chunk/step counts matching their
-  /// specs); they are processed FIFO by arrival time. Returns per-request
-  /// metrics in arrival order plus the aggregate step metrics (including,
-  /// in Threaded execution mode, accumulated measured_latency/exec_digest);
-  /// asserts that every request finished with exactly its budgeted tokens.
+  /// specs); they are processed in (arrival, id) order (see request.hpp for
+  /// the tie-break rule). Returns per-request metrics in that order plus the
+  /// aggregate step metrics (including, in Threaded execution mode,
+  /// accumulated measured_latency/exec_digest); asserts that every request
+  /// ended terminal — finished with exactly its budgeted tokens, or rejected
+  /// by admission control with none.
   [[nodiscard]] ServeMetrics run(std::vector<Request> requests,
                                  const ServeOptions& options = {});
 

@@ -7,33 +7,54 @@
 /// under a TBT SLO). Same contract style as StageMetrics::tbt_mean() — any
 /// accessor whose value would be a 0/0 is guarded by a precondition instead
 /// of silently returning garbage.
+///
+/// Tier awareness: every RequestMetrics carries its priority, and each
+/// distribution accessor takes an optional tier filter so tables can report
+/// per-tier p50/p95/p99 (the tier-isolation invariant compares VIP tails
+/// across load levels). The unfiltered aggregates iterate the same requests
+/// in the same order as before tiers existed, so a single-tier stream's
+/// aggregate numbers are bit-identical to pre-tier output. Rejected
+/// requests (deadline/queue-pressure admission control) are recorded but
+/// excluded from every latency distribution — they have no tokens to
+/// measure.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "runtime/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/stats.hpp"
+#include "workload/request_stream.hpp"
 
 namespace hybrimoe::runtime {
 
-/// Lifecycle timestamps and latency samples of one *finished* request.
+/// Lifecycle timestamps and latency samples of one terminal request
+/// (finished, or rejected by admission control).
 struct RequestMetrics {
   std::uint64_t id = 0;
+  workload::Priority priority = workload::Priority::Standard;
+  bool rejected = false;     ///< admission control turned the request away
   double arrival = 0.0;      ///< entered the admission queue
   double admit = 0.0;        ///< left the queue (first batch membership)
   double first_token = 0.0;  ///< last prefill chunk (or first decode step) done
   double finish = 0.0;       ///< final token done
   std::size_t prompt_tokens = 0;
   std::size_t generated_tokens = 0;   ///< emitted tokens (first + decode steps)
+  std::size_t preemptions = 0;        ///< prefill pauses suffered
   std::vector<double> tbt;            ///< inter-token gaps, one per decode step
 
   [[nodiscard]] double ttft() const {
+    HYBRIMOE_REQUIRE(!rejected, "rejected request has no latency");
     HYBRIMOE_REQUIRE(generated_tokens > 0, "request emitted no tokens");
     return first_token - arrival;
   }
-  [[nodiscard]] double queueing_delay() const { return admit - arrival; }
+  [[nodiscard]] double queueing_delay() const {
+    HYBRIMOE_REQUIRE(!rejected, "rejected request has no latency");
+    return admit - arrival;
+  }
   [[nodiscard]] double e2e() const {
+    HYBRIMOE_REQUIRE(!rejected, "rejected request has no latency");
     HYBRIMOE_REQUIRE(finish >= arrival, "request never finished");
     return finish - arrival;
   }
@@ -50,9 +71,14 @@ struct RequestMetrics {
 };
 
 /// Aggregate result of one ServeEngine::run: every request's metrics (in
-/// arrival order, all finished — the engine asserts completion), the summed
-/// engine counters over the composed steps, and the serving clock.
+/// arrival order, all terminal — the engine asserts each is finished or
+/// rejected), the summed engine counters over the composed steps, and the
+/// serving clock.
 struct ServeMetrics {
+  /// Optional tier filter for the distribution accessors: nullopt = every
+  /// tier (the historical aggregates).
+  using TierFilter = std::optional<workload::Priority>;
+
   std::vector<RequestMetrics> requests;
   /// Engine counters accumulated across every composed step: per-step
   /// latencies in per_forward, busy times, cache stats, transfer counts.
@@ -66,6 +92,20 @@ struct ServeMetrics {
     for (const auto& r : requests) total += r.generated_tokens;
     return total;
   }
+  [[nodiscard]] std::size_t finished_count() const {
+    std::size_t n = 0;
+    for (const auto& r : requests) n += r.rejected ? 0 : 1;
+    return n;
+  }
+  [[nodiscard]] std::size_t rejected_count() const {
+    return requests.size() - finished_count();
+  }
+  /// Terminal requests of one tier (finished + rejected).
+  [[nodiscard]] std::size_t tier_count(workload::Priority tier) const {
+    std::size_t n = 0;
+    for (const auto& r : requests) n += r.priority == tier ? 1 : 0;
+    return n;
+  }
 
   /// Output tokens per second of serving time (0 for an empty run).
   [[nodiscard]] double throughput() const {
@@ -74,7 +114,7 @@ struct ServeMetrics {
   }
   /// Finished requests per second of serving time (0 for an empty run).
   [[nodiscard]] double request_throughput() const {
-    return makespan > 0.0 ? static_cast<double>(requests.size()) / makespan : 0.0;
+    return makespan > 0.0 ? static_cast<double>(finished_count()) / makespan : 0.0;
   }
   /// Output tokens per second from requests that met the TBT SLO — the
   /// throughput a latency-bound deployment can actually sell.
@@ -82,33 +122,39 @@ struct ServeMetrics {
     if (makespan <= 0.0) return 0.0;
     std::size_t tokens = 0;
     for (const auto& r : requests)
-      if (r.meets_tbt_slo(tbt_slo)) tokens += r.generated_tokens;
+      if (!r.rejected && r.meets_tbt_slo(tbt_slo)) tokens += r.generated_tokens;
     return static_cast<double>(tokens) / makespan;
   }
 
   // -- Latency distributions ---------------------------------------------
-  [[nodiscard]] std::vector<double> ttfts() const {
+  // Each accessor walks `requests` in order, skipping rejected requests and
+  // (when a tier filter is given) other tiers.
+  [[nodiscard]] std::vector<double> ttfts(TierFilter tier = {}) const {
     std::vector<double> out;
     out.reserve(requests.size());
-    for (const auto& r : requests) out.push_back(r.ttft());
+    for (const auto& r : requests)
+      if (counted(r, tier)) out.push_back(r.ttft());
     return out;
   }
-  [[nodiscard]] std::vector<double> e2es() const {
+  [[nodiscard]] std::vector<double> e2es(TierFilter tier = {}) const {
     std::vector<double> out;
     out.reserve(requests.size());
-    for (const auto& r : requests) out.push_back(r.e2e());
+    for (const auto& r : requests)
+      if (counted(r, tier)) out.push_back(r.e2e());
     return out;
   }
-  [[nodiscard]] std::vector<double> queueing_delays() const {
+  [[nodiscard]] std::vector<double> queueing_delays(TierFilter tier = {}) const {
     std::vector<double> out;
     out.reserve(requests.size());
-    for (const auto& r : requests) out.push_back(r.queueing_delay());
+    for (const auto& r : requests)
+      if (counted(r, tier)) out.push_back(r.queueing_delay());
     return out;
   }
   /// All inter-token gaps pooled across requests.
-  [[nodiscard]] std::vector<double> tbts() const {
+  [[nodiscard]] std::vector<double> tbts(TierFilter tier = {}) const {
     std::vector<double> out;
-    for (const auto& r : requests) out.insert(out.end(), r.tbt.begin(), r.tbt.end());
+    for (const auto& r : requests)
+      if (counted(r, tier)) out.insert(out.end(), r.tbt.begin(), r.tbt.end());
     return out;
   }
 
@@ -118,28 +164,37 @@ struct ServeMetrics {
     double p95 = 0.0;
     double p99 = 0.0;
   };
-  [[nodiscard]] TailSummary ttft_tails() const { return tails(ttfts(), "no finished requests"); }
-  [[nodiscard]] TailSummary tbt_tails() const { return tails(tbts(), "no decode gaps recorded"); }
-  [[nodiscard]] TailSummary e2e_tails() const { return tails(e2es(), "no finished requests"); }
+  [[nodiscard]] TailSummary ttft_tails(TierFilter tier = {}) const {
+    return tails(ttfts(tier), "no finished requests");
+  }
+  [[nodiscard]] TailSummary tbt_tails(TierFilter tier = {}) const {
+    return tails(tbts(tier), "no decode gaps recorded");
+  }
+  [[nodiscard]] TailSummary e2e_tails(TierFilter tier = {}) const {
+    return tails(e2es(tier), "no finished requests");
+  }
 
   /// Tail accessors (q in [0,100]); require at least one sample.
-  [[nodiscard]] double ttft_p(double q) const {
-    const auto v = ttfts();
+  [[nodiscard]] double ttft_p(double q, TierFilter tier = {}) const {
+    const auto v = ttfts(tier);
     HYBRIMOE_REQUIRE(!v.empty(), "no finished requests");
     return util::percentile(v, q);
   }
-  [[nodiscard]] double tbt_p(double q) const {
-    const auto v = tbts();
+  [[nodiscard]] double tbt_p(double q, TierFilter tier = {}) const {
+    const auto v = tbts(tier);
     HYBRIMOE_REQUIRE(!v.empty(), "no decode gaps recorded");
     return util::percentile(v, q);
   }
-  [[nodiscard]] double e2e_p(double q) const {
-    const auto v = e2es();
+  [[nodiscard]] double e2e_p(double q, TierFilter tier = {}) const {
+    const auto v = e2es(tier);
     HYBRIMOE_REQUIRE(!v.empty(), "no finished requests");
     return util::percentile(v, q);
   }
 
  private:
+  [[nodiscard]] static bool counted(const RequestMetrics& r, TierFilter tier) {
+    return !r.rejected && (!tier.has_value() || r.priority == *tier);
+  }
   [[nodiscard]] static TailSummary tails(const std::vector<double>& v,
                                          const char* what) {
     HYBRIMOE_REQUIRE(!v.empty(), what);

@@ -54,6 +54,10 @@ class ExperimentHarness {
   explicit ExperimentHarness(ExperimentSpec spec);
 
   [[nodiscard]] const hw::CostModel& costs() const noexcept { return costs_; }
+  /// Mutable cost-model access for fault injection (scenario drivers flip
+  /// device availability / link scales mid-run). The engines built by this
+  /// harness charge against this same instance.
+  [[nodiscard]] hw::CostModel& mutable_costs() noexcept { return costs_; }
   [[nodiscard]] const ExperimentSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] const std::vector<std::vector<double>>& warmup_frequencies()
       const noexcept {

@@ -1,8 +1,5 @@
 #include "runtime/stack_spec.hpp"
 
-#include <cmath>
-#include <cstdlib>
-#include <iomanip>
 #include <sstream>
 #include <variant>
 #include <vector>
@@ -12,166 +9,28 @@
 #include "exec/executor.hpp"
 #include "runtime/stack_registry.hpp"
 #include "util/assert.hpp"
+#include "util/json.hpp"
 #include "util/registry.hpp"
 
 namespace hybrimoe::runtime {
 
 namespace {
 
+// The JSON machinery (parser, typed accessors, emission helpers) lives in
+// util/json.hpp, shared with the scenario spec grammar. "stack spec" is the
+// context stamped into every error message.
+using JsonValue = util::json::Value;
+using JsonObject = util::json::Object;
+using util::json::as_bool;
+using util::json::as_count;
+using util::json::as_number;
+using util::json::as_string;
+using util::json::format_number;
+using util::json::FieldWriter;
+
 [[noreturn]] void spec_error(std::size_t offset, const std::string& message) {
-  std::ostringstream os;
-  os << "stack spec error at offset " << offset << ": " << message;
-  throw std::invalid_argument(os.str());
+  util::json::error("stack spec", offset, message);
 }
-
-// ---------------------------------------------------------------------------
-// JSON subset: objects, strings, numbers, booleans. No arrays, no null —
-// nothing in the spec grammar needs them, and every unsupported construct
-// fails with a position-stamped error instead of parsing loosely.
-// ---------------------------------------------------------------------------
-
-struct JsonValue;
-/// Insertion-ordered so error messages point at the offending source key.
-using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
-
-struct JsonValue {
-  std::variant<std::string, double, bool, JsonObject> value;
-  std::size_t offset = 0;  ///< where this value started, for error messages
-
-  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(value); }
-  [[nodiscard]] bool is_object() const { return std::holds_alternative<JsonObject>(value); }
-};
-
-class Parser {
- public:
-  explicit Parser(std::string_view text) : text_(text) {}
-
-  [[nodiscard]] JsonValue parse_document() {
-    skip_whitespace();
-    if (at_end() || peek() != '{')
-      spec_error(pos_, "a stack spec must be a JSON object starting with '{'");
-    JsonValue value = parse_value();
-    skip_whitespace();
-    if (!at_end()) spec_error(pos_, "trailing characters after the spec object");
-    return value;
-  }
-
- private:
-  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
-  [[nodiscard]] char peek() const { return text_[pos_]; }
-
-  void skip_whitespace() {
-    while (!at_end() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r'))
-      ++pos_;
-  }
-
-  void expect(char c, const char* what) {
-    if (at_end() || peek() != c)
-      spec_error(pos_, std::string("expected ") + what);
-    ++pos_;
-  }
-
-  [[nodiscard]] JsonValue parse_value() {
-    skip_whitespace();
-    if (at_end()) spec_error(pos_, "unexpected end of spec");
-    const std::size_t start = pos_;
-    const char c = peek();
-    if (c == '{') return {parse_object(), start};
-    if (c == '"') return {parse_string(), start};
-    if (c == 't' || c == 'f') return {parse_bool(), start};
-    if (c == '-' || (c >= '0' && c <= '9')) return {parse_number(), start};
-    spec_error(pos_, std::string("unexpected character '") + c +
-                         "' (expected an object, string, number or boolean)");
-  }
-
-  [[nodiscard]] JsonObject parse_object() {
-    expect('{', "'{'");
-    JsonObject object;
-    skip_whitespace();
-    if (!at_end() && peek() == '}') {
-      ++pos_;
-      return object;
-    }
-    while (true) {
-      skip_whitespace();
-      const std::size_t key_offset = pos_;
-      if (at_end() || peek() != '"') spec_error(pos_, "expected a quoted key");
-      std::string key = parse_string();
-      for (const auto& [existing, value] : object)
-        if (existing == key)
-          spec_error(key_offset, "duplicate key '" + key + "'");
-      skip_whitespace();
-      expect(':', "':' after key");
-      object.emplace_back(std::move(key), parse_value());
-      skip_whitespace();
-      if (at_end()) spec_error(pos_, "unterminated object (missing '}')");
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}', "',' or '}'");
-      return object;
-    }
-  }
-
-  [[nodiscard]] std::string parse_string() {
-    expect('"', "'\"'");
-    std::string out;
-    while (true) {
-      if (at_end()) spec_error(pos_, "unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (at_end()) spec_error(pos_, "unterminated escape");
-        const char e = text_[pos_++];
-        if (e == '"' || e == '\\' || e == '/') {
-          out.push_back(e);
-        } else {
-          spec_error(pos_ - 1, std::string("unsupported escape '\\") + e + "'");
-        }
-        continue;
-      }
-      out.push_back(c);
-    }
-  }
-
-  [[nodiscard]] bool parse_bool() {
-    if (text_.substr(pos_, 4) == "true") {
-      pos_ += 4;
-      return true;
-    }
-    if (text_.substr(pos_, 5) == "false") {
-      pos_ += 5;
-      return false;
-    }
-    spec_error(pos_, "expected 'true' or 'false'");
-  }
-
-  [[nodiscard]] double parse_number() {
-    const std::size_t start = pos_;
-    if (!at_end() && peek() == '-') ++pos_;
-    auto digits = [&] {
-      const std::size_t before = pos_;
-      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
-      return pos_ > before;
-    };
-    if (!digits()) spec_error(pos_, "malformed number");
-    if (!at_end() && peek() == '.') {
-      ++pos_;
-      if (!digits()) spec_error(pos_, "malformed number (digits required after '.')");
-    }
-    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
-      ++pos_;
-      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
-      if (!digits()) spec_error(pos_, "malformed exponent");
-    }
-    const std::string token(text_.substr(start, pos_ - start));
-    return std::strtod(token.c_str(), nullptr);
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
 
 // ---------------------------------------------------------------------------
 // JsonValue -> StackSpec with per-object allowed-key checking.
@@ -181,30 +40,6 @@ class Parser {
                               std::string_view key,
                               const std::vector<std::string>& allowed) {
   spec_error(value.offset, util::unknown_name_message(family, key, allowed));
-}
-
-const std::string& as_string(const JsonValue& v, const std::string& key) {
-  if (!v.is_string()) spec_error(v.offset, "'" + key + "' must be a string");
-  return std::get<std::string>(v.value);
-}
-
-double as_number(const JsonValue& v, const std::string& key) {
-  if (!std::holds_alternative<double>(v.value))
-    spec_error(v.offset, "'" + key + "' must be a number");
-  return std::get<double>(v.value);
-}
-
-bool as_bool(const JsonValue& v, const std::string& key) {
-  if (!std::holds_alternative<bool>(v.value))
-    spec_error(v.offset, "'" + key + "' must be true or false");
-  return std::get<bool>(v.value);
-}
-
-std::size_t as_count(const JsonValue& v, const std::string& key) {
-  const double d = as_number(v, key);
-  if (d < 0.0 || d != std::floor(d) || d > 9e15)
-    spec_error(v.offset, "'" + key + "' must be a non-negative integer");
-  return static_cast<std::size_t>(d);
 }
 
 /// "scheduler": "hybrid"  |  {"policy": "hybrid", "gpu_fraction": 0.5}
@@ -314,52 +149,9 @@ exec::ExecutionMode exec_from_name(const JsonValue& v) {
 
 std::string quote(std::string_view s) { return json_quote(s); }
 
-/// Shortest decimal form that parses back to the same double, so the JSON
-/// round trip is exact without printing 17 digits for 0.25 (and integral
-/// values like 120 stay "120", not "1.2e+02").
-std::string format_number(double v) {
-  if (v == std::floor(v) && std::abs(v) < 1e15) {
-    std::ostringstream os;
-    os << std::setprecision(15) << std::fixed << v;
-    std::string s = os.str();
-    s.erase(s.find('.'));  // integral: drop the fractional zeros
-    if (std::strtod(s.c_str(), nullptr) == v) return s;
-  }
-  for (int precision = 1; precision <= 17; ++precision) {
-    std::ostringstream os;
-    os << std::setprecision(precision) << v;
-    if (std::strtod(os.str().c_str(), nullptr) == v) return os.str();
-  }
-  HYBRIMOE_ASSERT(false, "a double must round-trip at 17 significant digits");
-}
-
-/// Appends ", \"key\": " (first field omits the comma).
-class FieldWriter {
- public:
-  explicit FieldWriter(std::ostringstream& os) : os_(os) {}
-  std::ostringstream& field(const char* key) {
-    if (!first_) os_ << ", ";
-    first_ = false;
-    os_ << '"' << key << "\": ";
-    return os_;
-  }
-
- private:
-  std::ostringstream& os_;
-  bool first_ = true;
-};
-
 }  // namespace
 
-std::string json_quote(std::string_view s) {
-  std::string out = "\"";
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  out.push_back('"');
-  return out;
-}
+std::string json_quote(std::string_view s) { return util::json::quote(s); }
 
 const char* to_string(WarmupSeeding w) {
   switch (w) {
@@ -446,11 +238,12 @@ void StackSpec::validate() const {
 }
 
 StackSpec parse_stack_spec(std::string_view text) {
-  const JsonValue document = Parser(text).parse_document();
+  const JsonValue document =
+      util::json::Parser(text, "stack spec").parse_document();
   static const std::vector<std::string> kKeys{
       "cache",          "cache_maintenance", "dynamic_inserts", "exec",
-      "name",           "overhead_us",       "prefetch",        "scheduler",
-      "topology",       "update_scores",     "warmup"};
+      "name",           "overhead_us",       "prefetch",        "scenario",
+      "scheduler",      "topology",          "update_scores",   "warmup"};
 
   StackSpec spec;
   for (const auto& [key, value] : std::get<JsonObject>(document.value)) {
@@ -480,6 +273,17 @@ StackSpec parse_stack_spec(std::string_view text) {
       }
     } else if (key == "exec") {
       spec.execution = exec_from_name(value);
+    } else if (key == "scenario") {
+      if (value.is_string()) {
+        try {
+          spec.scenario =
+              scenario::scenario_registry().get(std::get<std::string>(value.value));
+        } catch (const std::invalid_argument& e) {
+          spec_error(value.offset, e.what());
+        }
+      } else {
+        spec.scenario = scenario::scenario_from_json(value);
+      }
     } else {
       unknown_key(value, "spec key", key, kKeys);
     }
@@ -550,6 +354,8 @@ std::string to_json(const StackSpec& spec) {
   w.field("warmup") << quote(to_string(spec.warmup));
   if (spec.execution.has_value())
     w.field("exec") << quote(exec::to_string(*spec.execution));
+  if (spec.scenario.has_value())
+    w.field("scenario") << scenario::to_json(*spec.scenario);
 
   os << "}";
   return os.str();

@@ -32,6 +32,8 @@
 #include <string>
 #include <string_view>
 
+#include "scenario/scenario_spec.hpp"
+
 namespace hybrimoe::exec {
 enum class ExecutionMode : std::uint8_t;  // exec/executor.hpp
 }
@@ -134,6 +136,11 @@ struct StackSpec {
   /// Execution backend override ("simulated" / "threaded").
   /// Unset: the build's mode (EngineBuildInfo::execution_mode).
   std::optional<exec::ExecutionMode> execution;
+  /// Fault-injection scenario to run the stack under ("scenario": a preset
+  /// name or an inline scenario object — see scenario/scenario_spec.hpp).
+  /// Unset (the default): healthy topology, unshaped workload; preset specs
+  /// stay byte-identical to their scenario-free serialisations.
+  std::optional<scenario::ScenarioSpec> scenario;
 
   bool operator==(const StackSpec&) const = default;
 

@@ -1,0 +1,129 @@
+#include "scenario/drivers.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hybrimoe::scenario {
+
+ScenarioDriver::ScenarioDriver(ScenarioSpec spec, hw::CostModel& costs)
+    : spec_(spec), costs_(costs) {
+  spec_.validate();
+  if (spec_.family == Family::StragglerLink || spec_.family == Family::DeviceLoss)
+    HYBRIMOE_REQUIRE(spec_.accel < costs_.num_accelerators(),
+                     "scenario targets an accelerator outside the topology");
+}
+
+void ScenarioDriver::before_step(std::size_t step_index, double clock,
+                                 runtime::OffloadEngine& engine) {
+  (void)clock;
+  switch (spec_.family) {
+    case Family::StragglerLink: {
+      const bool in_window = step_index >= spec_.start_step &&
+                             (spec_.end_step == 0 || step_index < spec_.end_step);
+      if (in_window && !fault_active_) {
+        costs_.set_link_bandwidth_scale(spec_.accel, spec_.bandwidth_scale);
+        fault_active_ = true;
+      } else if (!in_window && fault_active_) {
+        costs_.set_link_bandwidth_scale(spec_.accel, 1.0);
+        fault_active_ = false;
+      }
+      break;
+    }
+    case Family::DeviceLoss: {
+      if (!fault_active_ && step_index >= spec_.lose_step &&
+          (spec_.recover_step == 0 || step_index < spec_.recover_step)) {
+        costs_.set_accelerator_available(spec_.accel, false);
+        // Residency on a lost device is gone, not stale: every cached
+        // expert (pinned included) is dropped so no lookup, steal or
+        // maintenance decision can reference it.
+        cache::ExpertCache& cache = engine.device_cache(spec_.accel);
+        for (const moe::ExpertId id : cache.residents()) (void)cache.erase(id);
+        fault_active_ = true;
+      } else if (fault_active_ && spec_.recover_step > 0 &&
+                 step_index >= spec_.recover_step) {
+        costs_.set_accelerator_available(spec_.accel, true);  // cold cache
+        fault_active_ = false;
+      }
+      break;
+    }
+    case Family::CacheThrash:
+    case Family::OverloadStorm:
+      break;  // no topology mutation
+  }
+}
+
+void ScenarioDriver::transform_step(std::size_t step_index,
+                                    workload::ForwardTrace& merged) {
+  if (spec_.family != Family::CacheThrash) return;
+  if (step_index < spec_.start_step) return;
+  if (spec_.end_step != 0 && step_index >= spec_.end_step) return;
+  // Rotate each layer's actual routing by a seeded, step-varying offset.
+  // Predictions are deliberately left in place: the prefetcher keeps
+  // planning for the un-rotated routing, so its uploads land on experts the
+  // rotated step never activates — the worst case for learned residency.
+  for (moe::LayerRouting& routing : merged.layers) {
+    const std::size_t n = routing.loads.size();
+    if (n == 0) continue;
+    const std::size_t offset =
+        (spec_.seed % n + step_index * spec_.stride) % n;
+    if (offset == 0) continue;
+    std::vector<std::uint32_t> loads(n);
+    std::vector<float> scores(n);
+    for (std::size_t e = 0; e < n; ++e) {
+      loads[(e + offset) % n] = routing.loads[e];
+      scores[(e + offset) % n] = routing.scores[e];
+    }
+    routing.loads = std::move(loads);
+    routing.scores = std::move(scores);
+  }
+}
+
+void ScenarioDriver::after_step(const runtime::StepInfo& info,
+                                const runtime::StageMetrics& steps) {
+  StepRecord record;
+  record.index = info.index;
+  record.start_clock = info.start_clock;
+  record.end_clock = info.end_clock;
+  record.latency = info.latency;
+  record.prefill_tokens = info.prefill_tokens;
+  record.decode_tokens = info.decode_tokens;
+  record.active_requests = info.active_requests;
+  const std::size_t n = steps.device_transfers.size();
+  prev_transfers_.resize(n, 0);
+  record.transfers_to_device.resize(n, 0);
+  for (std::size_t a = 0; a < n; ++a) {
+    record.transfers_to_device[a] = steps.device_transfers[a] - prev_transfers_[a];
+    prev_transfers_[a] = steps.device_transfers[a];
+  }
+  record.device_available.resize(costs_.num_accelerators(), 1);
+  record.link_scale.resize(costs_.num_accelerators(), 1.0);
+  for (std::size_t a = 0; a < costs_.num_accelerators(); ++a) {
+    record.device_available[a] = costs_.accelerator_available(a) ? 1 : 0;
+    record.link_scale[a] = costs_.link_bandwidth_scale(a);
+  }
+  timeline_.push_back(std::move(record));
+}
+
+std::vector<workload::RequestSpec> shape_stream(
+    std::vector<workload::RequestSpec> specs, const ScenarioSpec& scenario) {
+  if (scenario.family != Family::OverloadStorm) return specs;
+  scenario.validate();
+  std::uint64_t next_id = 0;
+  for (const auto& s : specs) next_id = std::max(next_id, s.id + 1);
+  specs.reserve(specs.size() + scenario.storm_requests);
+  for (std::size_t i = 0; i < scenario.storm_requests; ++i) {
+    workload::RequestSpec s;
+    s.id = next_id + i;
+    s.arrival_time = scenario.storm_time;
+    // Deterministic size jitter without an RNG dependency: small prompts,
+    // short decodes — storm traffic is interactive chatter, not long jobs.
+    s.prompt_tokens = 16 + (scenario.seed + i) % 17;
+    s.decode_tokens = 4 + (scenario.seed + i) % 5;
+    s.priority = workload::Priority::BestEffort;
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+}  // namespace hybrimoe::scenario

@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file drivers.hpp
+/// ScenarioSpec -> runtime::StepHook: the driver that injects one scenario's
+/// faults into a serving run. One ScenarioDriver instance covers all four
+/// families (it switches on the spec) and additionally records a per-step
+/// timeline — clocks, latencies, per-device transfer deltas, device health —
+/// that the invariant checkers (tests/scenario/invariants.hpp) assert over.
+///
+/// Family mechanics:
+///  * straggler_link — before step `start_step` the target link's bandwidth
+///    is scaled by `bandwidth_scale`; before `end_step` it is restored.
+///  * device_loss — before `lose_step` the target accelerator is marked
+///    unavailable and its cached experts are erased (residency on a lost
+///    device is gone, not stale); before `recover_step` it returns with a
+///    cold cache.
+///  * cache_thrash — each step in [start_step, end_step) the merged trace's
+///    per-layer expert loads/scores are rotated by a seeded stride, so the
+///    actual routing drifts away from both the cache's learned residency
+///    and the (un-rotated) prefetch predictions — a deliberate adversarial
+///    mismatch.
+///  * overload_storm — a workload-shaping scenario: shape_stream appends
+///    `storm_requests` best-effort requests all arriving at `storm_time`;
+///    the step hook itself is a pure observer.
+///
+/// Determinism: a driver holds no hidden state beyond the spec and the
+/// timeline it records; the same spec over the same stream reproduces the
+/// same timeline exactly.
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/cost_model.hpp"
+#include "runtime/serve_engine.hpp"
+#include "scenario/scenario_spec.hpp"
+#include "workload/request_stream.hpp"
+
+namespace hybrimoe::scenario {
+
+/// One recorded serving step (appended by after_step).
+struct StepRecord {
+  std::size_t index = 0;
+  double start_clock = 0.0;
+  double end_clock = 0.0;
+  double latency = 0.0;
+  std::size_t prefill_tokens = 0;
+  std::size_t decode_tokens = 0;
+  std::size_t active_requests = 0;
+  /// Expert uploads targeting each accelerator *during this step* (delta of
+  /// the engine's cumulative per-device counters).
+  std::vector<std::size_t> transfers_to_device;
+  /// Device health while the step ran (after before_step's mutations).
+  std::vector<std::uint8_t> device_available;
+  /// Link bandwidth scale while the step ran.
+  std::vector<double> link_scale;
+};
+
+/// The fault injector. Mutates the *cost model* (shared with the engine) in
+/// before_step and the merged trace in transform_step; requires mutable
+/// access to the same hw::CostModel the engine charges against (e.g.
+/// ExperimentHarness::mutable_costs()).
+class ScenarioDriver final : public runtime::StepHook {
+ public:
+  /// \brief Bind the driver to its scenario and the run's cost model (which
+  /// must outlive the driver). Validates the spec.
+  ScenarioDriver(ScenarioSpec spec, hw::CostModel& costs);
+
+  /// The validated scenario this driver injects.
+  [[nodiscard]] const ScenarioSpec& spec() const noexcept { return spec_; }
+  /// Per-step timeline recorded so far (one entry per completed step).
+  [[nodiscard]] const std::vector<StepRecord>& timeline() const noexcept {
+    return timeline_;
+  }
+
+  /// Apply window-edge fault transitions (straggle/restore, lose/recover).
+  void before_step(std::size_t step_index, double clock,
+                   runtime::OffloadEngine& engine) override;
+  /// Rotate the merged trace's routing inside a cache-thrash window.
+  void transform_step(std::size_t step_index,
+                      workload::ForwardTrace& merged) override;
+  /// Append this step's StepRecord to the timeline.
+  void after_step(const runtime::StepInfo& info,
+                  const runtime::StageMetrics& steps) override;
+
+ private:
+  ScenarioSpec spec_;
+  hw::CostModel& costs_;
+  std::vector<StepRecord> timeline_;
+  std::vector<std::size_t> prev_transfers_;  ///< cumulative counters last step
+  bool fault_active_ = false;  ///< straggler applied / device currently lost
+};
+
+/// \brief Apply a scenario's workload shaping to a request stream:
+/// overload_storm appends `storm_requests` best-effort requests (ids
+/// continuing after the stream's maximum) all arriving at `storm_time`;
+/// every other family returns the stream unchanged.
+[[nodiscard]] std::vector<workload::RequestSpec> shape_stream(
+    std::vector<workload::RequestSpec> specs, const ScenarioSpec& scenario);
+
+}  // namespace hybrimoe::scenario

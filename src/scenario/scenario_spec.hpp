@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file scenario_spec.hpp
+/// Declarative fault-injection scenarios for serving experiments. A
+/// ScenarioSpec names one of four adversarial conditions and the parameters
+/// that shape it; scenario::make_driver (drivers.hpp) turns the spec into a
+/// runtime::StepHook that perturbs the engine mid-run. Everything is seeded
+/// and deterministic: the same spec against the same stream produces the
+/// same step timeline, byte for byte, so scenario tests assert *invariants*
+/// (no starvation, progress, tier isolation, transfer conservation) rather
+/// than golden values.
+///
+/// The four scenario families (docs/SCENARIOS.md has the catalogue):
+///  * straggler_link — one accelerator's PCIe bandwidth is scaled by
+///    `bandwidth_scale` for steps [start_step, end_step);
+///  * device_loss   — a non-primary accelerator disappears at `lose_step`
+///    (its cached experts are invalidated, no transfer may target it) and
+///    optionally returns, cold, at `recover_step`;
+///  * cache_thrash  — expert routing is rotated by a seeded stride each step
+///    in [start_step, end_step), so the cache's learned residency and the
+///    prefetcher's predictions go stale at once;
+///  * overload_storm — `storm_requests` best-effort requests all arrive at
+///    `storm_time`, flooding the admission queue (a workload-shaping
+///    scenario: it stresses tiered admission, not the topology).
+///
+/// Specs round-trip through the same JSON subset as StackSpec:
+///
+///   {"family": "straggler_link", "accel": 0, "start_step": 8,
+///    "end_step": 24, "bandwidth_scale": 0.1}
+///
+/// Unknown keys and unknown family names fail with a did-you-mean error;
+/// keys that do not apply to the named family are rejected outright.
+/// parse_scenario_spec(to_json(s)) == s for every valid spec.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/registry.hpp"
+
+namespace hybrimoe::util::json {
+/// Forward declaration (util/json.hpp) — keeps the JSON dep out of the header.
+struct Value;
+}
+
+namespace hybrimoe::scenario {
+
+/// The four adversarial scenario families.
+enum class Family : std::uint8_t {
+  StragglerLink,
+  DeviceLoss,
+  CacheThrash,
+  OverloadStorm,
+};
+
+/// Printable family name ("straggler_link", "device_loss", ...).
+[[nodiscard]] constexpr const char* to_string(Family f) noexcept {
+  switch (f) {
+    case Family::StragglerLink: return "straggler_link";
+    case Family::DeviceLoss: return "device_loss";
+    case Family::CacheThrash: return "cache_thrash";
+    case Family::OverloadStorm: return "overload_storm";
+  }
+  return "?";
+}
+
+/// One fully-parameterised scenario. A flat value type: every family reads
+/// the subset of fields that applies to it (the parser rejects the rest).
+struct ScenarioSpec {
+  Family family = Family::StragglerLink;
+  /// Determinism seed: shapes the cache-thrash rotation and stamps the run.
+  std::uint64_t seed = 42;
+
+  // -- straggler_link + device_loss: which accelerator -------------------
+  /// Accelerator index (0-based). device_loss requires >= 1: accelerator 0
+  /// hosts the dense pipeline and cannot be lost.
+  std::size_t accel = 0;
+
+  // -- straggler_link + cache_thrash: the active window ------------------
+  std::size_t start_step = 0;  ///< first perturbed engine step
+  std::size_t end_step = 0;    ///< one past the last perturbed step; 0 = open
+
+  // -- straggler_link -----------------------------------------------------
+  /// Multiplier on the degraded link's bandwidth (0 < scale; 1.0 = healthy).
+  double bandwidth_scale = 1.0;
+
+  // -- device_loss --------------------------------------------------------
+  std::size_t lose_step = 0;     ///< step at which the accelerator vanishes
+  std::size_t recover_step = 0;  ///< step at which it returns; 0 = never
+
+  // -- cache_thrash -------------------------------------------------------
+  /// Per-step rotation stride applied to expert routing (>= 1).
+  std::size_t stride = 1;
+
+  // -- overload_storm -----------------------------------------------------
+  double storm_time = 0.0;          ///< arrival instant of the storm burst
+  std::size_t storm_requests = 1;   ///< burst size (best-effort requests)
+
+  bool operator==(const ScenarioSpec&) const = default;
+
+  /// \brief Range checks for the named family; throws std::invalid_argument
+  /// on violations (non-positive bandwidth_scale, device_loss of accelerator
+  /// 0, an empty active window, recovery at or before the loss, ...).
+  void validate() const;
+};
+
+/// \brief The named scenario presets ("straggler_link", "device_loss",
+/// "cache_thrash", "overload_storm" — one canonical preset per family).
+/// Unknown names fail with the registry's did-you-mean message.
+[[nodiscard]] util::Registry<ScenarioSpec>& scenario_registry();
+
+/// \brief Parse the JSON-subset scenario grammar documented above. The
+/// "family" key is required and resolved first (through the registry, so a
+/// misspelled family gets a did-you-mean); remaining keys override the
+/// family preset and must apply to that family. Throws std::invalid_argument
+/// with the offset on all violations.
+[[nodiscard]] ScenarioSpec parse_scenario_spec(std::string_view text);
+
+/// \brief Build a ScenarioSpec from an already-parsed JSON object — the
+/// entry point for grammars that embed scenarios (StackSpec's "scenario"
+/// key). Errors are stamped with the *enclosing* document's context and
+/// offsets.
+[[nodiscard]] ScenarioSpec scenario_from_json(const util::json::Value& value);
+
+/// \brief Canonical JSON form (family-relevant keys only);
+/// parse_scenario_spec(to_json(s)) == s.
+[[nodiscard]] std::string to_json(const ScenarioSpec& spec);
+
+/// \brief Resolve a command-line scenario argument: a registered preset
+/// name, inline JSON (starts with '{'), or "@file" to read a spec file.
+[[nodiscard]] ScenarioSpec resolve_scenario(std::string_view arg);
+
+}  // namespace hybrimoe::scenario

@@ -86,6 +86,9 @@ LayerPlan simulate_layer(std::uint16_t layer, Stage stage,
       HYBRIMOE_REQUIRE(!d.cached ||
                            (d.cached_on.is_accelerator() && devices.contains(d.cached_on)),
                        "cached_on must name an accelerator of the topology");
+      HYBRIMOE_REQUIRE(!d.cached || costs.accelerator_available(d.cached_on.accel_index()),
+                       "expert demand cached on an unavailable accelerator — "
+                       "residency on a lost device must be invalidated");
     }
   }
 
@@ -214,6 +217,7 @@ LayerPlan simulate_layer(std::uint16_t layer, Stage stage,
               st.cpu_t + 1.5 * costs.cpu_expert_time(cand.load, warm);
           double gpu_finish = kInf;
           for (std::size_t a = 0; a < num_accels; ++a) {
+            if (!costs.accelerator_available(a)) continue;
             const double arrival =
                 st.link_t[a] + xfer[a] * static_cast<double>(st.cpu_side.size());
             const double finish =
@@ -265,7 +269,10 @@ LayerPlan simulate_layer(std::uint16_t layer, Stage stage,
     if (options.allow_transfers && !st.cpu_side.empty()) {
       const Pending& cand = st.cpu_side.back();
       double best_finish = kInf;
+      // A lost device is never a transfer target (conservation invariant);
+      // accelerator 0 cannot be lost, so a target always exists.
       for (std::size_t a = 0; a < num_accels; ++a) {
+        if (!costs.accelerator_available(a)) continue;
         const double arrival = st.link_t[a] + xfer[a];
         const double finish =
             std::max(arrival, st.accel_t[a] + gpu_backlog(st.accel_side[a], costs, a)) +

@@ -3,8 +3,17 @@
 #include <cmath>
 
 #include "util/assert.hpp"
+#include "util/registry.hpp"
 
 namespace hybrimoe::workload {
+
+Priority priority_from_name(std::string_view name) {
+  if (name == "best-effort") return Priority::BestEffort;
+  if (name == "standard") return Priority::Standard;
+  if (name == "vip") return Priority::Vip;
+  static const std::vector<std::string> kNames{"best-effort", "standard", "vip"};
+  throw std::invalid_argument(util::unknown_name_message("priority", name, kNames));
+}
 
 void RequestStreamParams::validate() const {
   HYBRIMOE_REQUIRE(num_requests > 0, "stream needs at least one request");
@@ -15,6 +24,10 @@ void RequestStreamParams::validate() const {
                    "prompt token range is inverted");
   HYBRIMOE_REQUIRE(decode_tokens_min <= decode_tokens_max,
                    "decode token range is inverted");
+  HYBRIMOE_REQUIRE(vip_fraction >= 0.0 && best_effort_fraction >= 0.0,
+                   "tier fractions must be non-negative");
+  HYBRIMOE_REQUIRE(vip_fraction + best_effort_fraction <= 1.0,
+                   "tier fractions must sum to at most 1");
 }
 
 namespace {
@@ -58,6 +71,16 @@ std::vector<RequestSpec> generate_request_stream(const RequestStreamParams& para
         uniform_length(rng, params.prompt_tokens_min, params.prompt_tokens_max);
     spec.decode_tokens =
         uniform_length(rng, params.decode_tokens_min, params.decode_tokens_max);
+    // Single-tier streams skip the priority draw entirely, keeping their RNG
+    // sequence (and therefore the stream) byte-identical to pre-tier output.
+    if (params.vip_fraction + params.best_effort_fraction > 0.0) {
+      const double u = rng.uniform();
+      if (u < params.vip_fraction) {
+        spec.priority = Priority::Vip;
+      } else if (u < params.vip_fraction + params.best_effort_fraction) {
+        spec.priority = Priority::BestEffort;
+      }
+    }
     stream.push_back(spec);
   }
   return stream;

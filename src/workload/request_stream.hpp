@@ -19,6 +19,7 @@
 /// same stream, byte for byte, run to run.
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -31,14 +32,44 @@ enum class ArrivalProcess : std::uint8_t { Poisson, Burst };
   return p == ArrivalProcess::Poisson ? "poisson" : "burst";
 }
 
-/// One request as the admission queue sees it: identity, arrival instant and
-/// size. Prompt/decode lengths are in tokens; `decode_tokens` is the decode
-/// budget — the number of single-token decode steps after the prefill.
+/// Request priority class for tiered serving. Ordered so that a larger
+/// enumerator value means a more important request — admission policies may
+/// compare tiers directly (`a > b` == "a outranks b").
+enum class Priority : std::uint8_t { BestEffort = 0, Standard = 1, Vip = 2 };
+
+/// Number of priority tiers (array-of-tier-policies sizing).
+inline constexpr std::size_t kNumPriorities = 3;
+
+/// Tier index for per-tier tables (BestEffort=0, Standard=1, Vip=2).
+[[nodiscard]] constexpr std::size_t priority_index(Priority p) noexcept {
+  return static_cast<std::size_t>(p);
+}
+
+[[nodiscard]] constexpr const char* to_string(Priority p) noexcept {
+  switch (p) {
+    case Priority::BestEffort: return "best-effort";
+    case Priority::Standard: return "standard";
+    case Priority::Vip: return "vip";
+  }
+  return "?";
+}
+
+/// Name -> Priority ("vip" / "standard" / "best-effort"); throws
+/// std::invalid_argument with a did-you-mean suggestion on unknown names.
+[[nodiscard]] Priority priority_from_name(std::string_view name);
+
+/// One request as the admission queue sees it: identity, arrival instant,
+/// size and priority tier. Prompt/decode lengths are in tokens;
+/// `decode_tokens` is the decode budget — the number of single-token decode
+/// steps after the prefill.
 struct RequestSpec {
   std::uint64_t id = 0;
   double arrival_time = 0.0;
   std::size_t prompt_tokens = 0;
   std::size_t decode_tokens = 0;
+  Priority priority = Priority::Standard;
+
+  bool operator==(const RequestSpec&) const = default;
 };
 
 struct RequestStreamParams {
@@ -54,6 +85,14 @@ struct RequestStreamParams {
   std::size_t prompt_tokens_max = 96;
   std::size_t decode_tokens_min = 8;
   std::size_t decode_tokens_max = 24;
+  /// Tier mix: each request independently draws VIP with probability
+  /// `vip_fraction`, best-effort with `best_effort_fraction`, standard
+  /// otherwise. Both zero (the default) keeps the stream single-tier AND
+  /// byte-identical to pre-tier streams: the priority draw is skipped
+  /// entirely, so the RNG sequence feeding arrival gaps and lengths is
+  /// unchanged.
+  double vip_fraction = 0.0;
+  double best_effort_fraction = 0.0;
   std::uint64_t seed = 42;
 
   void validate() const;

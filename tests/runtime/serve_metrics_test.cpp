@@ -95,6 +95,73 @@ TEST(ServeMetricsTest, TailSummariesMatchTheGenericAccessors) {
   EXPECT_THROW((void)empty.e2e_tails(), std::invalid_argument);
 }
 
+// -- Tier filters and rejection accounting ---------------------------------
+
+TEST(ServeMetricsTest, TierFiltersPartitionTheDistributions) {
+  ServeMetrics m;
+  m.makespan = 10.0;
+  auto vip = finished_request(0, 0.0, 1.0, 4.0, {1.0, 2.0});
+  vip.priority = workload::Priority::Vip;
+  auto standard = finished_request(1, 0.0, 2.0, 9.0, {3.0, 4.0});
+  standard.priority = workload::Priority::Standard;
+  auto best_effort = finished_request(2, 0.0, 3.0, 9.5, {5.0, 6.0});
+  best_effort.priority = workload::Priority::BestEffort;
+  m.requests = {vip, standard, best_effort};
+
+  EXPECT_EQ(m.tier_count(workload::Priority::Vip), 1U);
+  EXPECT_EQ(m.tbts(workload::Priority::Vip), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(m.tbts(workload::Priority::BestEffort),
+            (std::vector<double>{5.0, 6.0}));
+  EXPECT_DOUBLE_EQ(m.tbt_p(100.0, workload::Priority::Vip), 2.0);
+  EXPECT_DOUBLE_EQ(m.ttft_p(50.0, workload::Priority::Standard), 2.0);
+  // The unfiltered pool is the union of the tiers.
+  EXPECT_EQ(m.tbts().size(), 6U);
+  // A tier with no requests is guarded like an empty stream.
+  ServeMetrics only_vip;
+  only_vip.requests = {vip};
+  EXPECT_THROW((void)only_vip.tbt_tails(workload::Priority::Standard),
+               std::invalid_argument);
+}
+
+TEST(ServeMetricsTest, SingleTierAggregatesIgnoreTheFilterMachinery) {
+  // Regression guard for the pre-tier contract: on an all-default-priority
+  // stream, filtered-by-Standard and unfiltered accessors walk the same
+  // requests in the same order — bit-identical results.
+  ServeMetrics m;
+  m.makespan = 10.0;
+  for (int i = 0; i < 12; ++i)
+    m.requests.push_back(finished_request(static_cast<std::uint64_t>(i), 0.0,
+                                          0.1 * (i + 1), 1.0 + i,
+                                          {0.2 * (i + 1), 0.3 * (i + 1)}));
+  EXPECT_EQ(m.tbts(), m.tbts(workload::Priority::Standard));
+  EXPECT_EQ(m.ttfts(), m.ttfts(workload::Priority::Standard));
+  const auto unfiltered = m.tbt_tails();
+  const auto filtered = m.tbt_tails(workload::Priority::Standard);
+  EXPECT_EQ(unfiltered.p50, filtered.p50);
+  EXPECT_EQ(unfiltered.p95, filtered.p95);
+  EXPECT_EQ(unfiltered.p99, filtered.p99);
+}
+
+TEST(ServeMetricsTest, RejectedRequestsAreExcludedFromEveryDistribution) {
+  ServeMetrics m;
+  m.makespan = 10.0;
+  m.requests.push_back(finished_request(0, 0.0, 1.0, 4.0, {1.0, 2.0}));
+  RequestMetrics rejected;
+  rejected.id = 1;
+  rejected.rejected = true;
+  rejected.arrival = 0.5;
+  m.requests.push_back(rejected);
+
+  EXPECT_EQ(m.finished_count(), 1U);
+  EXPECT_EQ(m.rejected_count(), 1U);
+  EXPECT_EQ(m.ttfts().size(), 1U);
+  EXPECT_EQ(m.tbts().size(), 2U);
+  EXPECT_DOUBLE_EQ(m.request_throughput(), 0.1);  // rejected doesn't count
+  EXPECT_DOUBLE_EQ(m.goodput(10.0), 0.3);
+  EXPECT_THROW((void)m.requests[1].ttft(), std::invalid_argument);
+  EXPECT_THROW((void)m.requests[1].queueing_delay(), std::invalid_argument);
+}
+
 TEST(ServeMetricsTest, GoodputCountsOnlySloMeetingRequests) {
   ServeMetrics m;
   m.makespan = 10.0;

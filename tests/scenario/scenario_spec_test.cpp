@@ -1,0 +1,160 @@
+#include "scenario/scenario_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "runtime/stack_spec.hpp"
+
+namespace hybrimoe::scenario {
+namespace {
+
+// -- Presets and round-trips ----------------------------------------------
+
+TEST(ScenarioSpecTest, RegistryHasOnePresetPerFamily) {
+  const auto names = scenario_registry().names();
+  ASSERT_EQ(names.size(), 4U);
+  for (const char* name :
+       {"straggler_link", "device_loss", "cache_thrash", "overload_storm"}) {
+    const ScenarioSpec spec = scenario_registry().get(name);
+    EXPECT_EQ(to_string(spec.family), name);
+    EXPECT_NO_THROW(spec.validate());
+  }
+}
+
+TEST(ScenarioSpecTest, EveryPresetRoundTripsThroughJson) {
+  for (const auto& name : scenario_registry().names()) {
+    const ScenarioSpec spec = scenario_registry().get(name);
+    EXPECT_EQ(parse_scenario_spec(to_json(spec)), spec) << name;
+  }
+}
+
+TEST(ScenarioSpecTest, OverridesApplyOnTopOfTheFamilyPreset) {
+  const ScenarioSpec spec = parse_scenario_spec(
+      R"({"family": "straggler_link", "accel": 2, "bandwidth_scale": 0.5})");
+  EXPECT_EQ(spec.accel, 2U);
+  EXPECT_DOUBLE_EQ(spec.bandwidth_scale, 0.5);
+  // Untouched keys keep the preset's values.
+  EXPECT_EQ(spec.start_step, scenario_registry().get("straggler_link").start_step);
+  EXPECT_EQ(parse_scenario_spec(to_json(spec)), spec);
+}
+
+TEST(ScenarioSpecTest, FamilyAloneIsTheCanonicalPreset) {
+  EXPECT_EQ(parse_scenario_spec(R"({"family": "device_loss"})"),
+            scenario_registry().get("device_loss"));
+}
+
+// -- Misuse: unknown names get did-you-mean, bad shapes get offsets --------
+
+TEST(ScenarioSpecTest, MisspelledFamilyGetsDidYouMean) {
+  try {
+    (void)parse_scenario_spec(R"({"family": "stragler_link"})");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("straggler_link"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioSpecTest, MisspelledKeyGetsDidYouMean) {
+  try {
+    (void)parse_scenario_spec(
+        R"({"family": "straggler_link", "bandwith_scale": 0.5})");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bandwidth_scale"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioSpecTest, KeysOutsideTheirFamilyAreRejected) {
+  // bandwidth_scale belongs to straggler_link, not device_loss.
+  EXPECT_THROW((void)parse_scenario_spec(
+                   R"({"family": "device_loss", "bandwidth_scale": 0.5})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario_spec(
+                   R"({"family": "overload_storm", "stride": 2})"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSpecTest, StructuralMisuseIsRejected) {
+  EXPECT_THROW((void)parse_scenario_spec("[]"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario_spec(R"({"seed": 1})"),
+               std::invalid_argument);  // no family
+  EXPECT_THROW((void)parse_scenario_spec(R"({"family": 3})"),
+               std::invalid_argument);  // family must be a string
+  EXPECT_THROW((void)parse_scenario_spec(
+                   R"({"family": "cache_thrash", "stride": -1})"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSpecTest, ValidateRejectsOutOfRangeParameters) {
+  ScenarioSpec spec = scenario_registry().get("straggler_link");
+  spec.bandwidth_scale = 0.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = scenario_registry().get("straggler_link");
+  spec.end_step = spec.start_step;  // empty window
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = scenario_registry().get("device_loss");
+  spec.accel = 0;  // the primary accelerator cannot be lost
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = scenario_registry().get("device_loss");
+  spec.recover_step = spec.lose_step;  // recovery must follow the loss
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = scenario_registry().get("overload_storm");
+  spec.storm_requests = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+// -- CLI resolution --------------------------------------------------------
+
+TEST(ScenarioSpecTest, ResolveAcceptsPresetNamesAndInlineJson) {
+  EXPECT_EQ(resolve_scenario("cache_thrash"),
+            scenario_registry().get("cache_thrash"));
+  const ScenarioSpec inline_spec =
+      resolve_scenario(R"({"family": "cache_thrash", "stride": 5})");
+  EXPECT_EQ(inline_spec.stride, 5U);
+  EXPECT_THROW((void)resolve_scenario(""), std::invalid_argument);
+  EXPECT_THROW((void)resolve_scenario("@/nonexistent/scenario.json"),
+               std::invalid_argument);
+}
+
+// -- Embedding in StackSpec ------------------------------------------------
+
+TEST(ScenarioSpecTest, StackSpecEmbedsScenariosByNameAndInline) {
+  const runtime::StackSpec by_name = runtime::parse_stack_spec(
+      R"({"scheduler": "hybrid", "scenario": "overload_storm"})");
+  ASSERT_TRUE(by_name.scenario.has_value());
+  EXPECT_EQ(*by_name.scenario, scenario_registry().get("overload_storm"));
+
+  const runtime::StackSpec inline_spec = runtime::parse_stack_spec(
+      R"({"scenario": {"family": "straggler_link", "bandwidth_scale": 0.25}})");
+  ASSERT_TRUE(inline_spec.scenario.has_value());
+  EXPECT_DOUBLE_EQ(inline_spec.scenario->bandwidth_scale, 0.25);
+
+  // Round-trip through the stack grammar preserves the embedded scenario.
+  EXPECT_EQ(runtime::parse_stack_spec(runtime::to_json(inline_spec)),
+            inline_spec);
+
+  // Scenario errors surface through the stack parse with did-you-mean.
+  EXPECT_THROW(
+      (void)runtime::parse_stack_spec(R"({"scenario": "overload_strom"})"),
+      std::invalid_argument);
+  EXPECT_THROW((void)runtime::parse_stack_spec(
+                   R"({"scenario": {"family": "device_loss", "stride": 2}})"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSpecTest, ScenarioFreeStackSerialisationIsUnchanged) {
+  // The "scenario" key must not appear unless a scenario is set — preset
+  // stack specs stay byte-identical to their pre-scenario serialisations.
+  const runtime::StackSpec spec = runtime::parse_stack_spec(R"({"name": "x"})");
+  EXPECT_EQ(runtime::to_json(spec).find("scenario"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hybrimoe::scenario

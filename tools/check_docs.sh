@@ -7,7 +7,9 @@
 #    immediately preceded by a Doxygen `///` comment line (or share a line
 #    with one). Checked: src/exec/*.hpp (the most concurrency-dense code in
 #    the repository; undocumented thread-safety assumptions are how it would
-#    rot) plus the device-topology headers (src/hw/topology.hpp,
+#    rot), the fault-injection headers (src/scenario/*.hpp — scenario specs
+#    are user-facing configuration; an undocumented knob is an unusable one)
+#    plus the device-topology headers (src/hw/topology.hpp,
 #    src/sched/device.hpp — the vocabulary every layer of the stack now
 #    speaks).
 #
@@ -25,7 +27,7 @@ fail=0
 # ---------------------------------------------------------------------------
 # 1. Doc-comment coverage.
 # ---------------------------------------------------------------------------
-doc_headers="src/exec/*.hpp src/hw/topology.hpp src/sched/device.hpp"
+doc_headers="src/exec/*.hpp src/scenario/*.hpp src/hw/topology.hpp src/sched/device.hpp"
 for header in $doc_headers; do
   out=$(awk '
     # Track public sections inside class bodies (structs default public).

@@ -23,6 +23,7 @@
 
 #include "runtime/session.hpp"
 #include "runtime/stack_registry.hpp"
+#include "scenario/drivers.hpp"
 #include "util/table.hpp"
 #include "workload/request_stream.hpp"
 
@@ -48,6 +49,18 @@ options:
   --max-batch N         continuous-batching admission cap   (default 8)
   --chunk N             max prefill chunk tokens, 0 = whole (default 0)
   --slo S               TBT SLO in seconds for goodput      (default 0.1)
+  --scenario ARG        fault-injection scenario: preset name (straggler_link,
+                        device_loss, cache_thrash, overload_storm), inline
+                        JSON ('{...}') or @path; overrides the spec's own
+                        "scenario" entry
+  --vip-frac F          fraction of requests drawn as VIP tier   (default 0)
+  --be-frac F           fraction drawn as best-effort tier       (default 0)
+  --priority            priority-aware admission (VIP before standard
+                        before best-effort)
+  --preempt             allow preempting a long prefill chunk when a
+                        higher-tier decode would miss its TBT SLO
+  --vip-slo S           VIP tier TBT SLO in seconds (enables SLO-aware
+                        preemption; 0 = unset)
   --json PATH           write a machine-readable summary
   --print-spec          echo the canonical spec JSON and exit
   --list-stacks         list presets and registered components, then exit
@@ -80,6 +93,12 @@ struct Options {
   std::size_t max_batch = 8;
   std::size_t chunk = 0;
   double slo = 0.1;
+  std::string scenario;  ///< empty = the spec's own "scenario" entry, if any
+  double vip_frac = 0.0;
+  double be_frac = 0.0;
+  bool priority = false;
+  bool preempt = false;
+  double vip_slo = 0.0;
   std::string json_path;
   bool print_spec = false;
 };
@@ -146,6 +165,18 @@ Options parse_options(int argc, char** argv) {
       opts.chunk = to_count("--chunk", next(i, "--chunk"));
     } else if (arg == "--slo") {
       opts.slo = to_double("--slo", next(i, "--slo"));
+    } else if (arg == "--scenario") {
+      opts.scenario = next(i, "--scenario");
+    } else if (arg == "--vip-frac") {
+      opts.vip_frac = to_double("--vip-frac", next(i, "--vip-frac"));
+    } else if (arg == "--be-frac") {
+      opts.be_frac = to_double("--be-frac", next(i, "--be-frac"));
+    } else if (arg == "--priority") {
+      opts.priority = true;
+    } else if (arg == "--preempt") {
+      opts.preempt = true;
+    } else if (arg == "--vip-slo") {
+      opts.vip_slo = to_double("--vip-slo", next(i, "--vip-slo"));
     } else if (arg == "--json") {
       opts.json_path = next(i, "--json");
     } else if (arg == "--stack") {
@@ -171,6 +202,8 @@ int main(int argc, char** argv) {
   runtime::StackSpec stack;
   try {
     stack = runtime::resolve_stack(opts.stack_arg);
+    if (!opts.scenario.empty())
+      stack.scenario = scenario::resolve_scenario(opts.scenario);
     stack.validate();
   } catch (const std::invalid_argument& e) {
     std::cerr << "hybrimoe_run: " << e.what() << "\n";
@@ -216,11 +249,29 @@ int main(int argc, char** argv) {
     stream.process = opts.burst ? workload::ArrivalProcess::Burst
                                 : workload::ArrivalProcess::Poisson;
     stream.seed = opts.seed;
-    const auto request_specs = workload::generate_request_stream(stream);
+    stream.vip_fraction = opts.vip_frac;
+    stream.best_effort_fraction = opts.be_frac;
+    auto request_specs = workload::generate_request_stream(stream);
+    if (stack.scenario.has_value())
+      request_specs =
+          scenario::shape_stream(std::move(request_specs), *stack.scenario);
 
     runtime::ServeOptions serve_options;
     serve_options.max_batch = opts.max_batch;
     serve_options.max_prefill_chunk = opts.chunk;
+    serve_options.priority_admission = opts.priority;
+    serve_options.preemption = opts.preempt;
+    if (opts.vip_slo > 0.0)
+      serve_options.tiers[workload::priority_index(workload::Priority::Vip)]
+          .tbt_slo = opts.vip_slo;
+
+    // The scenario driver shares the harness's cost model with the engines
+    // the harness builds, so its before_step mutations are seen by the run.
+    std::optional<scenario::ScenarioDriver> driver;
+    if (stack.scenario.has_value()) {
+      driver.emplace(*stack.scenario, harness.mutable_costs());
+      serve_options.hook = &*driver;
+    }
 
     std::cout << "stack   : " << stack.display_name() << "\n"
               << "spec    : " << runtime::to_json(stack) << "\n"
@@ -230,7 +281,10 @@ int main(int argc, char** argv) {
               << spec.topology->num_accelerators() << " accelerator(s))\n"
               << "stream  : " << opts.requests << " requests, "
               << to_string(stream.process) << " arrivals @ " << opts.rate
-              << " req/s, seed " << opts.seed << "\n\n";
+              << " req/s, seed " << opts.seed << "\n";
+    if (stack.scenario.has_value())
+      std::cout << "scenario: " << scenario::to_json(*stack.scenario) << "\n";
+    std::cout << "\n";
 
     const auto metrics = harness.serve(stack, request_specs, serve_options);
 
@@ -241,7 +295,9 @@ int main(int argc, char** argv) {
     auto row = [&table](const std::string& k, const std::string& v) {
       table.begin_row().add_cell(k).add_cell(v);
     };
-    row("requests finished", std::to_string(metrics.requests.size()));
+    row("requests finished", std::to_string(metrics.finished_count()));
+    if (metrics.rejected_count() > 0)
+      row("requests rejected", std::to_string(metrics.rejected_count()));
     row("output tokens", std::to_string(metrics.total_generated_tokens()));
     row("makespan", util::format_seconds(metrics.makespan));
     row("throughput", util::format_double(metrics.throughput(), 2) + " tok/s");
@@ -272,7 +328,7 @@ int main(int argc, char** argv) {
            << ",\n  \"spec\": " << runtime::to_json(stack)
            << ",\n  \"model\": \"" << spec.model.name
            << "\",\n  \"cache_ratio\": " << opts.cache_ratio
-           << ",\n  \"requests\": " << metrics.requests.size()
+           << ",\n  \"requests\": " << metrics.finished_count()
            << ",\n  \"output_tokens\": " << metrics.total_generated_tokens()
            << ",\n  \"makespan_s\": " << metrics.makespan
            << ",\n  \"throughput_tok_s\": " << metrics.throughput()
