@@ -78,6 +78,9 @@ struct Request {
   /// Consecutive steps this request's prefill has been deferred (reset on
   /// resume) — the engine's no-starvation counter.
   std::size_t preempt_streak = 0;
+  /// KV-pressure evict-and-requeue round trips this request suffered (each
+  /// discards its progress and returns it to the admission queue).
+  std::size_t evictions = 0;
 
   /// \brief Pause the prefill at the current chunk boundary. Only a request
   /// in Prefill may be preempted; preempting twice (or preempting a decode)

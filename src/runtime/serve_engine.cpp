@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "serve_sim/sim_core.hpp"
+#include "serve_sim/trace_source.hpp"
 #include "util/assert.hpp"
 
 namespace hybrimoe::runtime {
@@ -19,16 +21,23 @@ void ServeOptions::validate() const {
   HYBRIMOE_REQUIRE(max_consecutive_preemptions >= 1,
                    "max_consecutive_preemptions must be >= 1");
   for (const TierPolicy& tier : tiers) tier.validate();
+  kv.validate();
+  HYBRIMOE_REQUIRE(!kv.enabled() || kv.bytes_per_token > 0.0,
+                   "KV accounting needs a resolved 'bytes_per_token' (derive "
+                   "it from the model with serve_sim::model_kv_bytes_per_token)");
 }
 
 namespace {
 
-/// Decorrelate per-request token streams from the stream seed (splitmix64).
-std::uint64_t request_trace_seed(std::uint64_t stream_seed, std::uint64_t id) {
-  std::uint64_t z = stream_seed ^ (0x9E3779B97F4A7C15ULL * (id + 1));
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
+/// The (arrival, id) order every serving entry point normalises to — the
+/// tie-break rule documented in request.hpp.
+void sort_by_arrival(std::vector<Request>& requests) {
+  std::stable_sort(requests.begin(), requests.end(), [](const Request& a,
+                                                        const Request& b) {
+    if (a.spec.arrival_time != b.spec.arrival_time)
+      return a.spec.arrival_time < b.spec.arrival_time;
+    return a.spec.id < b.spec.id;
+  });
 }
 
 }  // namespace
@@ -39,20 +48,9 @@ std::vector<Request> materialize_requests(workload::TraceGenerator& generator,
   std::vector<Request> requests;
   requests.reserve(specs.size());
   for (const auto& spec : specs) {
-    HYBRIMOE_REQUIRE(spec.prompt_tokens + spec.decode_tokens > 0,
-                     "request has no tokens");
     Request request;
     request.spec = spec;
-    generator.reset(request_trace_seed(generator.params().seed, spec.id));
-    std::size_t remaining = spec.prompt_tokens;
-    while (remaining > 0) {
-      const std::size_t chunk =
-          max_prefill_chunk == 0 ? remaining : std::min(max_prefill_chunk, remaining);
-      request.prefill_chunks.push_back(generator.generate_prefill(chunk));
-      remaining -= chunk;
-    }
-    if (spec.decode_tokens > 0)
-      request.decode = generator.generate_decode(spec.decode_tokens);
+    serve_sim::materialize_request(generator, request, max_prefill_chunk);
     requests.push_back(std::move(request));
   }
   return requests;
@@ -67,13 +65,7 @@ ServeMetrics ServeEngine::run(std::vector<Request> requests,
                               const ServeOptions& options) {
   options.validate();
   HYBRIMOE_REQUIRE(!requests.empty(), "serving an empty request stream");
-  // (arrival, id) order — the tie-break rule documented in request.hpp.
-  std::stable_sort(requests.begin(), requests.end(), [](const Request& a,
-                                                        const Request& b) {
-    if (a.spec.arrival_time != b.spec.arrival_time)
-      return a.spec.arrival_time < b.spec.arrival_time;
-    return a.spec.id < b.spec.id;
-  });
+  sort_by_arrival(requests);
   for (const Request& r : requests) {
     HYBRIMOE_REQUIRE(r.state == RequestState::Queued && r.next_chunk == 0 &&
                          r.next_step == 0,
@@ -93,288 +85,30 @@ ServeMetrics ServeEngine::run(std::vector<Request> requests,
     HYBRIMOE_REQUIRE(r.spec.prompt_tokens + r.spec.decode_tokens > 0,
                      "request has no tokens");
   }
+  serve_sim::PrematerializedSource source;
+  serve_sim::SimCore core(*engine_, options, source);
+  return core.run(requests);
+}
 
-  ServeMetrics metrics;
-  metrics.requests.resize(requests.size());
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    RequestMetrics& m = metrics.requests[i];
-    m.id = requests[i].spec.id;
-    m.priority = requests[i].spec.priority;
-    m.arrival = requests[i].spec.arrival_time;
-    m.prompt_tokens = requests[i].spec.prompt_tokens;
+ServeMetrics ServeEngine::serve_stream(workload::TraceGenerator& generator,
+                                       std::span<const workload::RequestSpec> specs,
+                                       const ServeOptions& options) {
+  options.validate();
+  HYBRIMOE_REQUIRE(!specs.empty(), "serving an empty request stream");
+  std::vector<Request> requests;
+  requests.reserve(specs.size());
+  for (const auto& spec : specs) {
+    HYBRIMOE_REQUIRE(spec.prompt_tokens + spec.decode_tokens > 0,
+                     "request has no tokens");
+    HYBRIMOE_REQUIRE(spec.arrival_time >= 0.0, "arrival time must be non-negative");
+    Request request;
+    request.spec = spec;
+    requests.push_back(std::move(request));
   }
-  StageMetrics& steps = metrics.steps;
-  engine_->cache().reset_stats();
-
-  double clock = 0.0;
-  std::size_t next_arrival = 0;
-  std::size_t terminal = 0;  // finished + rejected
-  bool any_decode = false;
-  std::vector<Request*> waiting;  // surfaced, unadmitted; (arrival, id) order
-  std::vector<Request*> active;   // admission order == decode order
-  std::vector<const workload::ForwardTrace*> parts;
-  std::vector<Request*> decoding;
-  // Running step-latency estimates for the preemption decision: the latest
-  // observed latency of a step with / without a prefill chunk. Negative
-  // until observed — no preemption before both regimes have been seen.
-  double est_prefill = -1.0;
-  double est_decode = -1.0;
-  const auto index_of = [&](const Request* r) {
-    return static_cast<std::size_t>(r - requests.data());
-  };
-  const auto tier_of = [&](const Request* r) -> const TierPolicy& {
-    return options.tiers[workload::priority_index(r->spec.priority)];
-  };
-  const auto reject = [&](Request& r) {
-    r.state = RequestState::Rejected;
-    metrics.requests[index_of(&r)].rejected = true;
-    ++terminal;
-  };
-
-  while (terminal < requests.size()) {
-    // Surface arrivals. A request whose total token budget exceeds the
-    // context window is rejected outright — it could never be scheduled.
-    while (next_arrival < requests.size() &&
-           requests[next_arrival].spec.arrival_time <= clock) {
-      Request& r = requests[next_arrival++];
-      if (options.max_context_tokens > 0 &&
-          r.spec.prompt_tokens + r.spec.decode_tokens > options.max_context_tokens) {
-        reject(r);
-        continue;
-      }
-      waiting.push_back(&r);
-    }
-
-    // Deadline-aware rejection: a request still waiting past its tier's
-    // TTFT deadline will miss it no matter what — turn it away now.
-    std::erase_if(waiting, [&](Request* r) {
-      const TierPolicy& tier = tier_of(r);
-      if (tier.ttft_deadline <= 0.0 ||
-          clock <= r->spec.arrival_time + tier.ttft_deadline)
-        return false;
-      reject(*r);
-      return true;
-    });
-
-    // Tier queue pressure: drop the newest overflow of any bounded tier.
-    for (std::size_t t = 0; t < options.tiers.size(); ++t) {
-      if (!options.tiers[t].queue_capacity.has_value()) continue;
-      const std::size_t cap = *options.tiers[t].queue_capacity;
-      std::size_t count = 0;
-      for (const Request* r : waiting)
-        count += workload::priority_index(r->spec.priority) == t ? 1 : 0;
-      // waiting is (arrival, id)-ordered, so reverse iteration drops the
-      // latest-arrived first.
-      for (std::size_t i = waiting.size(); count > cap && i-- > 0;) {
-        if (workload::priority_index(waiting[i]->spec.priority) != t) continue;
-        reject(*waiting[i]);
-        waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(i));
-        --count;
-      }
-    }
-
-    // Admission while the batch has capacity: FIFO by default; with
-    // priority_admission the highest tier wins (FIFO within a tier — the
-    // first max-tier element of the ordered waiting queue).
-    while (!waiting.empty() && active.size() < options.max_batch) {
-      std::size_t pick = 0;
-      if (options.priority_admission) {
-        for (std::size_t i = 1; i < waiting.size(); ++i)
-          if (waiting[i]->spec.priority > waiting[pick]->spec.priority) pick = i;
-      }
-      Request& r = *waiting[pick];
-      waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(pick));
-      r.admit_time = clock;
-      r.state = r.prefill_chunks.empty() ? RequestState::Decode : RequestState::Prefill;
-      metrics.requests[index_of(&r)].admit = clock;
-      active.push_back(&r);
-    }
-    if (active.empty()) {
-      if (terminal == requests.size()) break;  // everything rejected
-      // Nothing in flight: idle until the next arrival.
-      HYBRIMOE_ASSERT(next_arrival < requests.size(), "serve loop stalled");
-      clock = std::max(clock, requests[next_arrival].spec.arrival_time);
-      continue;
-    }
-
-    const std::size_t step_index = steps.per_forward.size();
-    if (options.hook != nullptr)
-      options.hook->before_step(step_index, clock, *engine_);
-
-    // The prefill candidate: earliest-admitted request still prefilling
-    // (paused or not). With preemption enabled, defer its chunk when running
-    // it would push a higher-tier active decode past its tier's TBT SLO —
-    // unless the candidate already sat out max_consecutive_preemptions
-    // steps (the no-starvation valve).
-    Request* candidate = nullptr;
-    for (Request* r : active) {
-      if (r->state == RequestState::Prefill || r->state == RequestState::Preempted) {
-        candidate = r;
-        break;
-      }
-    }
-    bool defer = false;
-    if (options.preemption && candidate != nullptr && est_prefill > 0.0 &&
-        est_decode > 0.0 && est_decode < est_prefill &&
-        candidate->preempt_streak < options.max_consecutive_preemptions) {
-      for (const Request* d : active) {
-        if (d->state != RequestState::Decode) continue;
-        if (!(d->spec.priority > candidate->spec.priority)) continue;
-        const TierPolicy& tier = tier_of(d);
-        if (tier.tbt_slo <= 0.0) continue;
-        // A decode that has not emitted yet has no inter-token gap to protect.
-        if (d->prefill_chunks.empty() && d->next_step == 0) continue;
-        if ((clock - d->last_token_time) + est_prefill > tier.tbt_slo) {
-          defer = true;
-          break;
-        }
-      }
-    }
-    if (candidate != nullptr) {
-      if (defer) {
-        if (candidate->state == RequestState::Prefill) candidate->preempt(clock);
-        ++candidate->preempt_streak;
-        metrics.requests[index_of(candidate)].preemptions = candidate->preemptions;
-      } else if (candidate->state == RequestState::Preempted) {
-        candidate->resume(clock);
-      }
-    }
-
-    // Compose the step: the candidate's chunk (unless deferred) plus every
-    // active decode, in admission order — merge order is float-sensitive,
-    // so parts must appear exactly as the batch iterates.
-    parts.clear();
-    decoding.clear();
-    Request* prefilling = nullptr;
-    std::size_t prefill_tokens = 0;
-    std::size_t decode_tokens = 0;
-    for (Request* r : active) {
-      if (r->state == RequestState::Prefill) {
-        if (r != candidate || defer || prefilling != nullptr) continue;
-        prefilling = r;
-        const workload::ForwardTrace& chunk = r->prefill_chunks[r->next_chunk].forward;
-        parts.push_back(&chunk);
-        prefill_tokens += chunk.tokens;
-      } else if (r->state == RequestState::Decode) {
-        const workload::ForwardTrace& step = r->decode.steps[r->next_step];
-        parts.push_back(&step);
-        decode_tokens += step.tokens;
-        decoding.push_back(r);
-      }
-      // Preempted requests (and prefills behind the candidate) sit the
-      // step out.
-    }
-    HYBRIMOE_ASSERT(!parts.empty(), "composed an empty step");
-    const std::size_t batch_size = active.size();
-    const sched::Stage stage = sched::dominant_stage(prefill_tokens, decode_tokens);
-    if (!decoding.empty()) any_decode = true;
-
-    const double start_clock = clock;
-    double latency;
-    if (options.hook != nullptr) {
-      // The transform hook needs a mutable copy even for single-part steps.
-      workload::ForwardTrace merged = parts.size() == 1
-                                          ? *parts.front()
-                                          : workload::merge_forward_traces(parts);
-      options.hook->transform_step(step_index, merged);
-      latency = engine_->run_step(merged, stage, steps);
-    } else if (parts.size() == 1) {
-      latency = engine_->run_step(*parts.front(), stage, steps);
-    } else {
-      const workload::ForwardTrace merged = workload::merge_forward_traces(parts);
-      latency = engine_->run_step(merged, stage, steps);
-    }
-    steps.per_forward.push_back(latency);
-    steps.total_latency += latency;
-    steps.tokens += prefill_tokens + decode_tokens;
-    clock += latency;
-    if (prefilling != nullptr) {
-      est_prefill = latency;
-    } else {
-      est_decode = latency;
-    }
-
-    // Lifecycle bookkeeping at the step's completion instant.
-    if (prefilling != nullptr) {
-      ++prefilling->next_chunk;
-      if (prefilling->next_chunk == prefilling->prefill_chunks.size()) {
-        // Prompt fully processed: the first output token is ready.
-        RequestMetrics& m = metrics.requests[index_of(prefilling)];
-        prefilling->first_token_time = clock;
-        prefilling->last_token_time = clock;
-        m.first_token = clock;
-        ++m.generated_tokens;
-        if (prefilling->decode.num_steps() > 0) {
-          prefilling->state = RequestState::Decode;
-        } else {
-          prefilling->state = RequestState::Finished;
-          prefilling->finish_time = clock;
-          m.finish = clock;
-          ++terminal;
-        }
-      }
-    }
-    for (Request* r : decoding) {
-      RequestMetrics& m = metrics.requests[index_of(r)];
-      if (r->prefill_chunks.empty() && r->next_step == 0) {
-        // Promptless session: its first decode token is its first token.
-        r->first_token_time = clock;
-        m.first_token = clock;
-      } else {
-        m.tbt.push_back(clock - r->last_token_time);
-      }
-      r->last_token_time = clock;
-      ++m.generated_tokens;
-      ++r->next_step;
-      if (r->next_step == r->decode.num_steps()) {
-        r->state = RequestState::Finished;
-        r->finish_time = clock;
-        m.finish = clock;
-        ++terminal;
-      }
-    }
-    std::erase_if(active,
-                  [](const Request* r) { return r->state == RequestState::Finished; });
-
-    if (options.hook != nullptr) {
-      StepInfo info;
-      info.index = step_index;
-      info.start_clock = start_clock;
-      info.end_clock = clock;
-      info.latency = latency;
-      info.stage = stage;
-      info.prefill_tokens = prefill_tokens;
-      info.decode_tokens = decode_tokens;
-      info.active_requests = batch_size;
-      options.hook->after_step(info, steps);
-    }
-  }
-
-  metrics.makespan = clock;
-  steps.stage = any_decode ? sched::Stage::Decode : sched::Stage::Prefill;
-  // Merge the cache's own counters with the transient-buffer hits run_step
-  // accumulated, exactly as run_prefill/run_decode do.
-  cache::CacheStats stats = engine_->cache().stats();
-  stats.hits += steps.cache.hits;
-  steps.cache = stats;
-
-  // Terminal accounting: every request either ran to completion with
-  // exactly its budgeted tokens, or was rejected and emitted none.
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    const Request& r = requests[i];
-    if (r.state == RequestState::Rejected) {
-      HYBRIMOE_ASSERT(metrics.requests[i].generated_tokens == 0,
-                      "rejected request emitted tokens");
-      continue;
-    }
-    HYBRIMOE_ASSERT(r.state == RequestState::Finished, "unfinished request at exit");
-    const std::size_t expected =
-        (r.spec.prompt_tokens > 0 ? 1 : 0) + r.spec.decode_tokens;
-    HYBRIMOE_ASSERT(metrics.requests[i].generated_tokens == expected,
-                    "request token accounting mismatch");
-    metrics.requests[i].preemptions = r.preemptions;
-  }
-  return metrics;
+  sort_by_arrival(requests);
+  serve_sim::LazyTraceSource source(generator, options.max_prefill_chunk);
+  serve_sim::SimCore core(*engine_, options, source);
+  return core.run(requests);
 }
 
 }  // namespace hybrimoe::runtime

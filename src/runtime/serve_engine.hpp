@@ -44,6 +44,8 @@
 #include "runtime/engine.hpp"
 #include "runtime/request.hpp"
 #include "runtime/serve_metrics.hpp"
+#include "serve_sim/event.hpp"
+#include "serve_sim/kv.hpp"
 #include "workload/generator.hpp"
 
 namespace hybrimoe::runtime {
@@ -85,6 +87,11 @@ class StepHook {
   virtual void after_step(const StepInfo& info, const StageMetrics& steps) {
     (void)info, (void)steps;
   }
+  /// Every event the discrete-event core pops, in (time, seq) order —
+  /// arrivals, per-part completions, transfer landings, finishes, KV
+  /// evictions. Observation only (the event has already been applied);
+  /// scenario drivers record timelines from this feed.
+  virtual void on_sim_event(const serve_sim::Event& event) { (void)event; }
 };
 
 /// Admission/SLO policy of one priority tier (ServeOptions::tiers, indexed
@@ -129,6 +136,12 @@ struct ServeOptions {
   std::size_t max_context_tokens = 0;
   /// Per-tier admission/SLO policy, indexed by workload::priority_index.
   std::array<TierPolicy, workload::kNumPriorities> tiers{};
+  /// KV-cache memory accounting (serve_sim/kv.hpp). Disabled by default
+  /// (budget 0) — the serving loop is then bit-identical to the pre-KV
+  /// engine. When enabled, bytes_per_token must be resolved (derive it from
+  /// the model with serve_sim::model_kv_bytes_per_token) and every admission
+  /// reserves the request's full-context footprint against the budget.
+  serve_sim::KvSpec kv;
   /// Step observation/perturbation hook (scenario drivers). Not owned; must
   /// outlive the run. nullptr = no hook (the bit-identical default).
   StepHook* hook = nullptr;
@@ -170,6 +183,18 @@ class ServeEngine {
   /// by admission control with none.
   [[nodiscard]] ServeMetrics run(std::vector<Request> requests,
                                  const ServeOptions& options = {});
+
+  /// \brief Serve a stream of request *specs*, materialising each request's
+  /// routing traces lazily at admission and releasing them at terminal —
+  /// live trace memory is bounded by the batch size instead of the stream
+  /// length, which is what lets bench/load_sweep push 10^5-10^6 requests
+  /// through one run. Per-request traces are seeded from (generator seed,
+  /// request id), so the result is bit-identical to materialize_requests +
+  /// run on the same specs. The generator must outlive the call and is left
+  /// reset to the last served request's derived seed.
+  [[nodiscard]] ServeMetrics serve_stream(workload::TraceGenerator& generator,
+                                          std::span<const workload::RequestSpec> specs,
+                                          const ServeOptions& options = {});
 
  private:
   std::unique_ptr<OffloadEngine> engine_;

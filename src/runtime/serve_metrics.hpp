@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "runtime/metrics.hpp"
@@ -42,6 +43,7 @@ struct RequestMetrics {
   std::size_t prompt_tokens = 0;
   std::size_t generated_tokens = 0;   ///< emitted tokens (first + decode steps)
   std::size_t preemptions = 0;        ///< prefill pauses suffered
+  std::size_t evictions = 0;          ///< KV evict-and-requeue round trips
   std::vector<double> tbt;            ///< inter-token gaps, one per decode step
 
   [[nodiscard]] double ttft() const {
@@ -87,6 +89,17 @@ struct ServeMetrics {
   /// arrivals. Rates divide by this, not by steps.total_latency.
   double makespan = 0.0;
 
+  /// KV-cache accounting outcome of the run. All zeros when accounting is
+  /// disabled — consumers that predate KV see the same JSON they always did
+  /// because emitters only write this block when budget_bytes > 0.
+  struct KvSummary {
+    double budget_bytes = 0.0;   ///< enforced budget
+    double peak_bytes = 0.0;     ///< high-water mark of reserved KV
+    std::size_t rejected = 0;    ///< requests shed by KV admission
+    std::size_t evictions = 0;   ///< evict-and-requeue round trips
+  };
+  KvSummary kv;
+
   [[nodiscard]] std::size_t total_generated_tokens() const {
     std::size_t total = 0;
     for (const auto& r : requests) total += r.generated_tokens;
@@ -99,6 +112,13 @@ struct ServeMetrics {
   }
   [[nodiscard]] std::size_t rejected_count() const {
     return requests.size() - finished_count();
+  }
+  /// Total KV evict-and-requeue round trips across the stream (0 when KV
+  /// accounting is disabled).
+  [[nodiscard]] std::size_t eviction_count() const {
+    std::size_t n = 0;
+    for (const auto& r : requests) n += r.evictions;
+    return n;
   }
   /// Terminal requests of one tier (finished + rejected).
   [[nodiscard]] std::size_t tier_count(workload::Priority tier) const {
@@ -172,6 +192,60 @@ struct ServeMetrics {
   }
   [[nodiscard]] TailSummary e2e_tails(TierFilter tier = {}) const {
     return tails(e2es(tier), "no finished requests");
+  }
+
+  /// One row of a load sweep: the headline numbers a (shape, load) cell
+  /// reports — everything guarded against empty distributions so a fully
+  /// shed run still summarises (zeros instead of preconditions firing).
+  /// `shape` and `arrival_rate` describe the workload and are filled by the
+  /// caller via summarize()'s arguments.
+  struct LoadSummary {
+    std::string shape;           ///< arrival shape name ("poisson", ...)
+    double arrival_rate = 0.0;   ///< offered load (requests/s)
+    double tbt_slo = 0.0;        ///< SLO the goodput figure is judged under
+    std::size_t requests = 0;
+    std::size_t finished = 0;
+    std::size_t rejected = 0;
+    std::size_t evictions = 0;
+    double reject_rate = 0.0;    ///< rejected / requests
+    double ttft_p50 = 0.0;       ///< 0 when nothing finished
+    double ttft_p99 = 0.0;
+    double tbt_p50 = 0.0;        ///< 0 when no decode gaps were recorded
+    double tbt_p99 = 0.0;
+    double throughput = 0.0;     ///< output tokens/s over the makespan
+    double goodput = 0.0;        ///< tokens/s from requests meeting the SLO
+    double makespan = 0.0;
+  };
+
+  /// \brief Summarise the run as one load-sweep row for workload `shape` at
+  /// offered `arrival_rate`, judging goodput under `tbt_slo` (0 = no SLO;
+  /// goodput then equals throughput).
+  [[nodiscard]] LoadSummary summarize(std::string shape, double arrival_rate,
+                                      double tbt_slo) const {
+    LoadSummary row;
+    row.shape = std::move(shape);
+    row.arrival_rate = arrival_rate;
+    row.tbt_slo = tbt_slo;
+    row.requests = requests.size();
+    row.finished = finished_count();
+    row.rejected = rejected_count();
+    row.evictions = eviction_count();
+    row.reject_rate = requests.empty()
+                          ? 0.0
+                          : static_cast<double>(row.rejected) /
+                                static_cast<double>(requests.size());
+    if (const auto v = ttfts(); !v.empty()) {
+      row.ttft_p50 = util::percentile(v, 50.0);
+      row.ttft_p99 = util::percentile(v, 99.0);
+    }
+    if (const auto v = tbts(); !v.empty()) {
+      row.tbt_p50 = util::percentile(v, 50.0);
+      row.tbt_p99 = util::percentile(v, 99.0);
+    }
+    row.throughput = throughput();
+    row.goodput = tbt_slo > 0.0 ? goodput(tbt_slo) : row.throughput;
+    row.makespan = makespan;
+    return row;
   }
 
   /// Tail accessors (q in [0,100]); require at least one sample.

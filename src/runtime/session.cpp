@@ -159,6 +159,31 @@ ServeMetrics ExperimentHarness::serve(const StackSpec& stack,
   return serve(stack, materialize(requests, options.max_prefill_chunk), options);
 }
 
+ServeOptions ExperimentHarness::resolved_serve_options(const StackSpec& stack,
+                                                       ServeOptions options) const {
+  if (stack.kv.has_value()) {
+    options.kv = *stack.kv;
+    if (options.kv.enabled() && options.kv.bytes_per_token <= 0.0)
+      options.kv.bytes_per_token = serve_sim::model_kv_bytes_per_token(spec_.model);
+  }
+  return options;
+}
+
+ServeMetrics ExperimentHarness::serve_stream(
+    Framework framework, std::span<const workload::RequestSpec> requests,
+    const ServeOptions& options) {
+  ServeEngine engine(build(framework));
+  return engine.serve_stream(generator_, requests, options);
+}
+
+ServeMetrics ExperimentHarness::serve_stream(
+    const StackSpec& stack, std::span<const workload::RequestSpec> requests,
+    const ServeOptions& options) {
+  ServeEngine engine(build(stack));
+  return engine.serve_stream(generator_, requests,
+                             resolved_serve_options(stack, options));
+}
+
 ServeMetrics ExperimentHarness::serve(Framework framework,
                                       std::vector<Request> requests,
                                       const ServeOptions& options) {
@@ -170,7 +195,7 @@ ServeMetrics ExperimentHarness::serve(const StackSpec& stack,
                                       std::vector<Request> requests,
                                       const ServeOptions& options) {
   ServeEngine engine(build(stack));
-  return engine.run(std::move(requests), options);
+  return engine.run(std::move(requests), resolved_serve_options(stack, options));
 }
 
 }  // namespace hybrimoe::runtime

@@ -120,6 +120,24 @@ class ExperimentHarness {
   [[nodiscard]] ServeMetrics serve(const StackSpec& spec, std::vector<Request> requests,
                                    const ServeOptions& options = {});
 
+  /// Serve a request stream with *lazy* trace materialisation — traces are
+  /// produced at admission and freed at terminal, so live memory is bounded
+  /// by the batch instead of the stream (bench/load_sweep's 10^5-10^6
+  /// request runs). Bit-identical to serve() on the same specs: per-request
+  /// traces derive from (harness seed, request id) either way.
+  [[nodiscard]] ServeMetrics serve_stream(
+      Framework framework, std::span<const workload::RequestSpec> requests,
+      const ServeOptions& options = {});
+  [[nodiscard]] ServeMetrics serve_stream(
+      const StackSpec& spec, std::span<const workload::RequestSpec> requests,
+      const ServeOptions& options = {});
+
+  /// Serving options with the stack's declarative "kv" section applied: the
+  /// spec's KvSpec (if any) overrides options.kv, and a bytes_per_token of 0
+  /// resolves from this harness's model (serve_sim::model_kv_bytes_per_token).
+  [[nodiscard]] ServeOptions resolved_serve_options(const StackSpec& spec,
+                                                    ServeOptions options) const;
+
  private:
   ExperimentSpec spec_;
   hw::CostModel costs_;

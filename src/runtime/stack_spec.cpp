@@ -235,6 +235,8 @@ void StackSpec::validate() const {
 
   if (overhead_us.has_value())
     HYBRIMOE_REQUIRE(*overhead_us >= 0.0, "'overhead_us' must be >= 0");
+
+  if (kv.has_value()) kv->validate();
 }
 
 StackSpec parse_stack_spec(std::string_view text) {
@@ -242,8 +244,9 @@ StackSpec parse_stack_spec(std::string_view text) {
       util::json::Parser(text, "stack spec").parse_document();
   static const std::vector<std::string> kKeys{
       "cache",          "cache_maintenance", "dynamic_inserts", "exec",
-      "name",           "overhead_us",       "prefetch",        "scenario",
-      "scheduler",      "topology",          "update_scores",   "warmup"};
+      "kv",             "name",              "overhead_us",     "prefetch",
+      "scenario",       "scheduler",         "topology",        "update_scores",
+      "warmup"};
 
   StackSpec spec;
   for (const auto& [key, value] : std::get<JsonObject>(document.value)) {
@@ -284,6 +287,8 @@ StackSpec parse_stack_spec(std::string_view text) {
       } else {
         spec.scenario = scenario::scenario_from_json(value);
       }
+    } else if (key == "kv") {
+      spec.kv = serve_sim::kv_from_json(value);
     } else {
       unknown_key(value, "spec key", key, kKeys);
     }
@@ -356,6 +361,7 @@ std::string to_json(const StackSpec& spec) {
     w.field("exec") << quote(exec::to_string(*spec.execution));
   if (spec.scenario.has_value())
     w.field("scenario") << scenario::to_json(*spec.scenario);
+  if (spec.kv.has_value()) w.field("kv") << serve_sim::to_json(*spec.kv);
 
   os << "}";
   return os.str();

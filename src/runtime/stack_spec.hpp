@@ -33,6 +33,7 @@
 #include <string_view>
 
 #include "scenario/scenario_spec.hpp"
+#include "serve_sim/kv.hpp"
 
 namespace hybrimoe::exec {
 enum class ExecutionMode : std::uint8_t;  // exec/executor.hpp
@@ -141,6 +142,12 @@ struct StackSpec {
   /// Unset (the default): healthy topology, unshaped workload; preset specs
   /// stay byte-identical to their scenario-free serialisations.
   std::optional<scenario::ScenarioSpec> scenario;
+  /// KV-cache accounting for serving runs ("kv": {"budget_mb": ...,
+  /// "admission": ...} — see serve_sim/kv.hpp). Unset (the default): no
+  /// accounting, and preset specs stay byte-identical to their KV-free
+  /// serialisations. A bytes_per_token of 0 is resolved from the model at
+  /// serve time (serve_sim::model_kv_bytes_per_token).
+  std::optional<serve_sim::KvSpec> kv;
 
   bool operator==(const StackSpec&) const = default;
 

@@ -24,8 +24,16 @@
 ///    the step hook itself is a pure observer.
 ///
 /// Determinism: a driver holds no hidden state beyond the spec and the
-/// timeline it records; the same spec over the same stream reproduces the
-/// same timeline exactly.
+/// timelines it records; the same spec over the same stream reproduces the
+/// same timelines exactly.
+///
+/// Since the serving core went event-driven the driver also records the
+/// simulation's *event* timeline (on_sim_event): every arrival, per-part
+/// completion, transfer landing, finish and KV eviction the core pops, in
+/// (time, seq) order — the raw feed the per-step StepRecords are a rollup
+/// of. Scenario drivers observe events; they still perturb runs through the
+/// before_step/transform_step seams, which keeps hook-free serving
+/// bit-identical.
 
 #include <cstdint>
 #include <vector>
@@ -71,6 +79,10 @@ class ScenarioDriver final : public runtime::StepHook {
   [[nodiscard]] const std::vector<StepRecord>& timeline() const noexcept {
     return timeline_;
   }
+  /// Raw simulation events recorded so far, in (time, seq) pop order.
+  [[nodiscard]] const std::vector<serve_sim::Event>& events() const noexcept {
+    return events_;
+  }
 
   /// Apply window-edge fault transitions (straggle/restore, lose/recover).
   void before_step(std::size_t step_index, double clock,
@@ -81,11 +93,16 @@ class ScenarioDriver final : public runtime::StepHook {
   /// Append this step's StepRecord to the timeline.
   void after_step(const runtime::StepInfo& info,
                   const runtime::StageMetrics& steps) override;
+  /// Record the popped event into the event timeline.
+  void on_sim_event(const serve_sim::Event& event) override {
+    events_.push_back(event);
+  }
 
  private:
   ScenarioSpec spec_;
   hw::CostModel& costs_;
   std::vector<StepRecord> timeline_;
+  std::vector<serve_sim::Event> events_;
   std::vector<std::size_t> prev_transfers_;  ///< cumulative counters last step
   bool fault_active_ = false;  ///< straggler applied / device currently lost
 };

@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file event.hpp
+/// The discrete-event vocabulary of the serving simulator. An Event is one
+/// timestamped happening in a serving run — a request arriving, a prefill
+/// chunk or decode step completing, a transfer batch landing, a request
+/// finishing, a KV-pressure eviction — and the EventHeap orders them by
+/// (time, seq): time first, then the monotone sequence number assigned at
+/// push. The seq tie-break makes simultaneous events (every completion of
+/// one composed step, a burst of arrivals sharing a timestamp) pop in
+/// exactly their scheduling order, so a run is deterministic down to the
+/// last bit without any hidden iteration-order dependence.
+///
+/// The heap is a value type with no engine dependencies: the sim core
+/// (sim_core.hpp) drives it, tests drive it directly, and StepHook
+/// implementations observe the popped stream via on_sim_event.
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace hybrimoe::serve_sim {
+
+/// What happened. The six kinds cover the full lifecycle the serving core
+/// models; TransferComplete and Evict are accounting events (the state
+/// change is applied when they are posted), the rest drive control flow.
+enum class EventKind : std::uint8_t {
+  Arrival,           ///< a request reaches the admission queue
+  PrefillChunk,      ///< one prefill chunk of a composed step completed
+  DecodeStep,        ///< one request's decode token of a composed step completed
+  TransferComplete,  ///< the step's expert uploads landed (payload = count)
+  Finish,            ///< a request went terminal; its traces can be released
+  Evict,             ///< KV pressure pushed an admitted request back to the queue
+};
+
+/// Printable event-kind name ("arrival", "prefill_chunk", ...).
+[[nodiscard]] constexpr const char* to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::Arrival: return "arrival";
+    case EventKind::PrefillChunk: return "prefill_chunk";
+    case EventKind::DecodeStep: return "decode_step";
+    case EventKind::TransferComplete: return "transfer_complete";
+    case EventKind::Finish: return "finish";
+    case EventKind::Evict: return "evict";
+  }
+  return "?";
+}
+
+/// One timestamped happening. `request` indexes the run's (arrival, id)-
+/// sorted request vector; `payload` is kind-specific (TransferComplete: the
+/// number of expert uploads the step performed; 0 otherwise).
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;  ///< push order — the deterministic tie-break
+  EventKind kind = EventKind::Arrival;
+  std::size_t request = 0;
+  std::size_t payload = 0;
+
+  bool operator==(const Event&) const = default;
+};
+
+/// Min-heap over (time, seq): the earliest event pops first, and events
+/// sharing a timestamp pop in the order they were pushed. seq is assigned by
+/// the heap itself — callers cannot create ties, so determinism is a
+/// property of the type, not a convention.
+class EventHeap {
+ public:
+  /// \brief Schedule an event; the heap stamps the next sequence number.
+  /// Returns the stamped event (the caller may want the seq for logging).
+  Event push(EventKind kind, double time, std::size_t request,
+             std::size_t payload = 0) {
+    const Event event{time, next_seq_++, kind, request, payload};
+    heap_.push(event);
+    return event;
+  }
+
+  /// \brief The earliest (time, seq) event. Precondition: !empty().
+  [[nodiscard]] const Event& top() const { return heap_.top(); }
+
+  /// \brief Remove and return the earliest event. Precondition: !empty().
+  Event pop() {
+    Event event = heap_.top();
+    heap_.pop();
+    return event;
+  }
+
+  /// \brief True when no events are scheduled.
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  /// \brief Number of scheduled events.
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  /// \brief Total events ever pushed (== the next seq to be assigned).
+  [[nodiscard]] std::uint64_t pushed() const noexcept { return next_seq_; }
+
+ private:
+  struct After {
+    [[nodiscard]] bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, After> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hybrimoe::serve_sim

@@ -1,0 +1,152 @@
+#pragma once
+
+/// \file kv.hpp
+/// KV-cache memory accounting for the serving simulator. Every admitted
+/// request reserves its full-context KV footprint — (prompt + decode budget)
+/// tokens x bytes_per_token — against a budget (explicit, or derived from
+/// the run's topology), and the admission policy decides what happens under
+/// pressure:
+///
+///  * queue  — the head-of-queue request waits until enough KV frees (the
+///    default: nothing is lost, latency absorbs the pressure);
+///  * reject — a request that cannot fit the moment it would be admitted is
+///    turned away (load shedding: tail latency is protected, goodput pays);
+///  * evict  — strictly lower-tier active requests are evicted (latest
+///    admitted first) and requeued with their progress discarded until the
+///    incoming request fits; if the evictable mass is insufficient the
+///    request waits as under `queue`.
+///
+/// Requests whose footprint exceeds the whole budget can never be scheduled
+/// and are rejected at arrival regardless of mode — a near-zero budget
+/// rejects every request outright, while an exact-fit request is admitted
+/// (the comparison is <=). The KvSpec grammar rides the same JSON subset as
+/// StackSpec ({"budget_mb": 64, "bytes_per_token": 2048, "admission":
+/// "evict"}); unknown keys and unknown mode names fail with a did-you-mean
+/// error, and parse(to_json(s)) == s for every valid spec.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hybrimoe::util::json {
+/// Forward declaration (util/json.hpp) — keeps the JSON dep out of the header.
+struct Value;
+}
+
+namespace hybrimoe::hw {
+/// Forward declaration (hw/topology.hpp) — budgets derive from device VRAM.
+struct Topology;
+}
+namespace hybrimoe::moe {
+/// Forward declaration (moe/model_config.hpp) — per-token bytes derive from it.
+struct ModelConfig;
+}
+
+namespace hybrimoe::serve_sim {
+
+/// What admission does when a request's KV reservation does not fit.
+enum class AdmissionMode : std::uint8_t { Queue, Reject, EvictRequeue };
+
+/// Printable admission-mode name ("queue", "reject", "evict").
+[[nodiscard]] constexpr const char* to_string(AdmissionMode m) noexcept {
+  switch (m) {
+    case AdmissionMode::Queue: return "queue";
+    case AdmissionMode::Reject: return "reject";
+    case AdmissionMode::EvictRequeue: return "evict";
+  }
+  return "?";
+}
+
+/// Name -> AdmissionMode ("queue" / "reject" / "evict"); throws
+/// std::invalid_argument with a did-you-mean suggestion on unknown names.
+[[nodiscard]] AdmissionMode admission_from_name(std::string_view name);
+
+/// Declarative KV-accounting configuration. Disabled by default
+/// (budget_mb == 0): the serving loop then takes the accounting-free path
+/// and stays bit-identical to the pre-KV engine.
+struct KvSpec {
+  /// Total KV budget in MB (1e6 bytes). 0 = accounting disabled.
+  double budget_mb = 0.0;
+  /// Per-token KV footprint in bytes. 0 = derive from the model at the call
+  /// site (model_kv_bytes_per_token); the sim core requires it resolved.
+  double bytes_per_token = 0.0;
+  /// Policy under pressure (see the file comment).
+  AdmissionMode mode = AdmissionMode::Queue;
+
+  bool operator==(const KvSpec&) const = default;
+
+  /// True when accounting is active (a positive budget was configured).
+  [[nodiscard]] bool enabled() const noexcept { return budget_mb > 0.0; }
+  /// The budget in bytes (budget_mb is the canonical round-tripped field).
+  [[nodiscard]] double budget_bytes() const noexcept { return budget_mb * 1e6; }
+
+  /// \brief Throws std::invalid_argument on negative fields or an enabled
+  /// budget without a resolvable per-token footprint.
+  void validate() const;
+};
+
+/// \brief Per-token KV footprint of a model in bytes: 2 tensors (K and V) x
+/// num_layers x d_model x 2 bytes (fp16) — the standard dense-attention KV
+/// row the memory-constrained-throughput literature budgets against.
+[[nodiscard]] double model_kv_bytes_per_token(const moe::ModelConfig& model);
+
+/// KV headroom one accelerator of the default profile contributes to the
+/// derived budget, in MB: the HBM slice left for KV after weights and
+/// activations on a 48 GB A6000-class card at the paper's 4-bit deployment.
+inline constexpr double kKvMbPerAccelerator = 4096.0;
+
+/// \brief Topology-derived KV budget in MB: every accelerator contributes
+/// kKvMbPerAccelerator scaled by its cache_share relative to the mean share
+/// (so an accelerator carrying twice the cache share also carries twice the
+/// KV headroom, and N identical devices contribute N x kKvMbPerAccelerator).
+[[nodiscard]] double derived_kv_budget_mb(const hw::Topology& topology);
+
+/// \brief Parse the KvSpec JSON grammar ({"budget_mb": ..,
+/// "bytes_per_token": .., "admission": ".."}). Throws std::invalid_argument
+/// with the offset and a did-you-mean suggestion on unknown keys/modes.
+[[nodiscard]] KvSpec parse_kv_spec(std::string_view text);
+
+/// \brief Build a KvSpec from an already-parsed JSON object — the entry
+/// point for grammars that embed KV sections (StackSpec's "kv" key).
+[[nodiscard]] KvSpec kv_from_json(const util::json::Value& value);
+
+/// \brief Canonical JSON form; parse_kv_spec(to_json(s)) == s.
+[[nodiscard]] std::string to_json(const KvSpec& spec);
+
+/// Runtime ledger for one serving run: reservations against the budget,
+/// plus the counters the metrics report (peak usage, rejects, evictions).
+/// Pure bookkeeping — the admission *policy* lives in the sim core.
+class KvAccountant {
+ public:
+  /// \brief Bind the ledger to a validated, enabled spec's budget.
+  explicit KvAccountant(const KvSpec& spec);
+
+  /// \brief True when a reservation of `bytes` fits the remaining budget
+  /// (exact fit included: the comparison is <=).
+  [[nodiscard]] bool fits(double bytes) const noexcept {
+    return used_ + bytes <= budget_;
+  }
+  /// \brief True when `bytes` could never fit, even into an empty budget.
+  [[nodiscard]] bool impossible(double bytes) const noexcept {
+    return bytes > budget_;
+  }
+  /// \brief Take a reservation; asserts it fits.
+  void reserve(double bytes);
+  /// \brief Return a reservation; asserts it was held.
+  void release(double bytes);
+
+  /// \brief Bytes currently reserved.
+  [[nodiscard]] double used() const noexcept { return used_; }
+  /// \brief High-water mark of used() over the run.
+  [[nodiscard]] double peak() const noexcept { return peak_; }
+  /// \brief The budget the ledger enforces.
+  [[nodiscard]] double budget() const noexcept { return budget_; }
+
+ private:
+  double budget_ = 0.0;
+  double used_ = 0.0;
+  double peak_ = 0.0;
+};
+
+}  // namespace hybrimoe::serve_sim

@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file sim_core.hpp
+/// The discrete-event serving core. SimCore replays a request stream as a
+/// timestamped event simulation: request arrivals, per-part step completions
+/// (one PrefillChunk or DecodeStep event per composed batch part), transfer
+/// landings, finishes, and KV-pressure evictions all live on one EventHeap
+/// ordered by (time, seq). The loop alternates two moves — *drain* every
+/// event at or before the clock, then *dispatch* a composed step through
+/// OffloadEngine::run_step when none is in flight — and the drain/dispatch
+/// order reproduces the legacy lockstep ServeEngine loop operation for
+/// operation, so a run with KV accounting disabled is bit-identical to the
+/// pre-event engine (the regression test byte-diffs hybrimoe_run artifacts).
+///
+/// What the event formulation adds over the lockstep loop:
+///  * KV-cache admission control (serve_sim/kv.hpp) — reserve-on-admit,
+///    release-on-terminal, with queue / reject / evict-and-requeue policies
+///    layered on the existing tier machinery;
+///  * an event feed (StepHook::on_sim_event) scenario drivers record instead
+///    of inferring timelines from per-step deltas;
+///  * TraceSource-driven lazy materialisation, bounding trace memory by the
+///    batch size so one run can carry 10^5-10^6 requests (bench/load_sweep).
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "runtime/serve_engine.hpp"
+#include "serve_sim/event.hpp"
+#include "serve_sim/kv.hpp"
+#include "serve_sim/trace_source.hpp"
+
+namespace hybrimoe::serve_sim {
+
+/// One serving run as a discrete-event simulation. A SimCore is single-use:
+/// construct, call run() once, read the metrics. The caller owns the request
+/// vector (sorted by (arrival, id), every request Queued with cursors at
+/// zero) and the trace source decides whether traces are pre-materialised or
+/// produced lazily at admission.
+class SimCore {
+ public:
+  /// \brief Bind the run to its engine, validated options, and trace source
+  /// (all must outlive the run).
+  SimCore(runtime::OffloadEngine& engine, const runtime::ServeOptions& options,
+          TraceSource& source);
+
+  /// \brief Serve the stream to completion and return its metrics. Asserts
+  /// every request ends terminal and (when KV accounting is enabled) every
+  /// reservation was returned.
+  [[nodiscard]] runtime::ServeMetrics run(std::vector<runtime::Request>& requests);
+
+ private:
+  void handle(const Event& event);
+  void on_arrival(const Event& event);
+  void on_prefill_chunk(const Event& event);
+  void on_decode_step(const Event& event);
+  void on_finish(const Event& event);
+  void step_event_done();
+  /// Admission + composition + run_step; false when nothing could run.
+  bool try_dispatch();
+  void admit_waiting();
+  /// Evict strictly lower-tier active requests (latest admitted first) until
+  /// `incoming` fits; false (and no state change) if the evictable mass is
+  /// insufficient.
+  bool evict_for(const runtime::Request& incoming);
+  void evict_one(runtime::Request& victim);
+  void reject(runtime::Request& r);
+
+  [[nodiscard]] std::size_t index_of(const runtime::Request* r) const;
+  [[nodiscard]] double footprint(const runtime::Request& r) const;
+  [[nodiscard]] const runtime::TierPolicy& tier_of(const runtime::Request* r) const;
+
+  runtime::OffloadEngine& engine_;
+  const runtime::ServeOptions& options_;
+  TraceSource& source_;
+
+  std::vector<runtime::Request>* requests_ = nullptr;
+  runtime::ServeMetrics metrics_;
+  EventHeap heap_;
+  double clock_ = 0.0;
+  std::size_t terminal_ = 0;  // finished + rejected
+  bool any_decode_ = false;
+
+  std::vector<runtime::Request*> waiting_;  // surfaced, unadmitted; (arrival, id)
+  std::vector<runtime::Request*> active_;   // admission order == decode order
+  std::vector<const workload::ForwardTrace*> parts_;
+  std::vector<runtime::Request*> decoding_;
+  // Running step-latency estimates for the preemption decision: the latest
+  // observed latency of a step with / without a prefill chunk. Negative
+  // until observed — no preemption before both regimes have been seen.
+  double est_prefill_ = -1.0;
+  double est_decode_ = -1.0;
+
+  // The step in flight, if any: completion events outstanding and the
+  // summary after_step receives once the last one lands.
+  bool step_in_flight_ = false;
+  std::size_t step_events_remaining_ = 0;
+  runtime::StepInfo step_info_;
+
+  std::optional<KvAccountant> accountant_;
+  std::size_t kv_rejected_ = 0;
+  std::size_t kv_evictions_ = 0;
+};
+
+}  // namespace hybrimoe::serve_sim

@@ -1,0 +1,39 @@
+#include "serve_sim/trace_source.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hybrimoe::serve_sim {
+
+namespace {
+
+/// Decorrelate per-request token streams from the stream seed (splitmix64).
+std::uint64_t request_trace_seed(std::uint64_t stream_seed, std::uint64_t id) {
+  std::uint64_t z = stream_seed ^ (0x9E3779B97F4A7C15ULL * (id + 1));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void materialize_request(workload::TraceGenerator& generator,
+                         runtime::Request& request,
+                         std::size_t max_prefill_chunk) {
+  const workload::RequestSpec& spec = request.spec;
+  HYBRIMOE_REQUIRE(spec.prompt_tokens + spec.decode_tokens > 0,
+                   "request has no tokens");
+  generator.reset(request_trace_seed(generator.params().seed, spec.id));
+  std::size_t remaining = spec.prompt_tokens;
+  while (remaining > 0) {
+    const std::size_t chunk =
+        max_prefill_chunk == 0 ? remaining : std::min(max_prefill_chunk, remaining);
+    request.prefill_chunks.push_back(generator.generate_prefill(chunk));
+    remaining -= chunk;
+  }
+  if (spec.decode_tokens > 0)
+    request.decode = generator.generate_decode(spec.decode_tokens);
+}
+
+}  // namespace hybrimoe::serve_sim

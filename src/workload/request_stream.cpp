@@ -1,11 +1,21 @@
 #include "workload/request_stream.hpp"
 
 #include <cmath>
+#include <numbers>
 
 #include "util/assert.hpp"
 #include "util/registry.hpp"
 
 namespace hybrimoe::workload {
+
+ArrivalProcess arrival_from_name(std::string_view name) {
+  if (name == "poisson") return ArrivalProcess::Poisson;
+  if (name == "burst") return ArrivalProcess::Burst;
+  if (name == "diurnal") return ArrivalProcess::Diurnal;
+  static const std::vector<std::string> kNames{"burst", "diurnal", "poisson"};
+  throw std::invalid_argument(
+      util::unknown_name_message("arrival process", name, kNames));
+}
 
 Priority priority_from_name(std::string_view name) {
   if (name == "best-effort") return Priority::BestEffort;
@@ -19,6 +29,10 @@ void RequestStreamParams::validate() const {
   HYBRIMOE_REQUIRE(num_requests > 0, "stream needs at least one request");
   HYBRIMOE_REQUIRE(arrival_rate > 0.0, "arrival_rate must be positive");
   HYBRIMOE_REQUIRE(burst_size > 0, "burst_size must be positive");
+  HYBRIMOE_REQUIRE(diurnal_period > 0.0, "diurnal_period must be positive");
+  HYBRIMOE_REQUIRE(diurnal_amplitude >= 0.0 && diurnal_amplitude < 1.0,
+                   "diurnal_amplitude must be in [0, 1) — an amplitude of 1 "
+                   "lets the instantaneous rate touch zero");
   HYBRIMOE_REQUIRE(prompt_tokens_min >= 1, "requests need at least one prompt token");
   HYBRIMOE_REQUIRE(prompt_tokens_min <= prompt_tokens_max,
                    "prompt token range is inverted");
@@ -43,6 +57,23 @@ std::size_t uniform_length(util::Rng& rng, std::size_t lo, std::size_t hi) {
       rng.uniform_int(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
 }
 
+/// Next arrival of the sinusoid-modulated Poisson process by thinning
+/// (Lewis-Shedler): candidate gaps at the peak rate, each accepted with
+/// probability rate(t)/peak. The amplitude is < 1, so rate(t) > 0 and a
+/// candidate is eventually accepted.
+double diurnal_gap(util::Rng& rng, double clock, const RequestStreamParams& p) {
+  const double peak = p.arrival_rate * (1.0 + p.diurnal_amplitude);
+  double t = clock;
+  for (;;) {
+    t += exponential_gap(rng, peak);
+    const double rate =
+        p.arrival_rate *
+        (1.0 + p.diurnal_amplitude *
+                   std::sin(2.0 * std::numbers::pi_v<double> * t / p.diurnal_period));
+    if (rng.uniform() * peak < rate) return t - clock;
+  }
+}
+
 }  // namespace
 
 std::vector<RequestSpec> generate_request_stream(const RequestStreamParams& params) {
@@ -62,6 +93,9 @@ std::vector<RequestSpec> generate_request_stream(const RequestStreamParams& para
         if (i % params.burst_size == 0)
           clock += exponential_gap(
               rng, params.arrival_rate / static_cast<double>(params.burst_size));
+        break;
+      case ArrivalProcess::Diurnal:
+        clock += diurnal_gap(rng, clock, params);
         break;
     }
     RequestSpec spec;

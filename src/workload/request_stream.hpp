@@ -8,12 +8,17 @@
 /// generator the stage experiments use, so every framework serves the
 /// identical traffic.
 ///
-/// Two arrival processes cover the regimes the serving bench sweeps:
+/// Three arrival processes cover the regimes the serving bench sweeps:
 ///  * Poisson — i.i.d. exponential inter-arrival gaps at `arrival_rate`
 ///    requests per second (open-loop steady traffic);
 ///  * Burst   — requests arrive in simultaneous groups of `burst_size`,
 ///    with exponential gaps between groups scaled so the *mean* request
-///    rate still equals `arrival_rate` (flash-crowd traffic).
+///    rate still equals `arrival_rate` (flash-crowd traffic);
+///  * Diurnal — a non-homogeneous Poisson process whose instantaneous rate
+///    follows a sinusoid, rate(t) = arrival_rate x (1 + diurnal_amplitude x
+///    sin(2*pi*t / diurnal_period)), realised by thinning (candidates at the
+///    peak rate, accepted with probability rate(t)/peak) so the mean rate
+///    over whole periods stays `arrival_rate` (day/night traffic swings).
 ///
 /// Like TraceGenParams, everything is seeded: the same params produce the
 /// same stream, byte for byte, run to run.
@@ -26,11 +31,20 @@
 
 namespace hybrimoe::workload {
 
-enum class ArrivalProcess : std::uint8_t { Poisson, Burst };
+enum class ArrivalProcess : std::uint8_t { Poisson, Burst, Diurnal };
 
 [[nodiscard]] constexpr const char* to_string(ArrivalProcess p) noexcept {
-  return p == ArrivalProcess::Poisson ? "poisson" : "burst";
+  switch (p) {
+    case ArrivalProcess::Poisson: return "poisson";
+    case ArrivalProcess::Burst: return "burst";
+    case ArrivalProcess::Diurnal: return "diurnal";
+  }
+  return "?";
 }
+
+/// Name -> ArrivalProcess ("poisson" / "burst" / "diurnal"); throws
+/// std::invalid_argument with a did-you-mean suggestion on unknown names.
+[[nodiscard]] ArrivalProcess arrival_from_name(std::string_view name);
 
 /// Request priority class for tiered serving. Ordered so that a larger
 /// enumerator value means a more important request — admission policies may
@@ -77,6 +91,12 @@ struct RequestStreamParams {
   double arrival_rate = 2.0;  ///< mean requests per second
   ArrivalProcess process = ArrivalProcess::Poisson;
   std::size_t burst_size = 4;  ///< requests per group (Burst only)
+  /// Sinusoid period in seconds (Diurnal only) — one simulated "day".
+  double diurnal_period = 60.0;
+  /// Relative swing of the diurnal rate in [0, 1): rate(t) ranges over
+  /// arrival_rate x [1 - amplitude, 1 + amplitude]. Strictly below 1 so the
+  /// rate never touches zero and the thinning always terminates.
+  double diurnal_amplitude = 0.5;
   /// Mixed request sizes: lengths are drawn uniformly from these inclusive
   /// ranges, so a stream interleaves short interactive requests with long
   /// prompts — the batch compositions that shift per-expert loads between

@@ -1,0 +1,79 @@
+#include "serve_sim/event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace hybrimoe::serve_sim {
+namespace {
+
+TEST(EventHeapTest, PopsInTimeOrder) {
+  EventHeap heap;
+  heap.push(EventKind::Finish, 3.0, 0);
+  heap.push(EventKind::Arrival, 1.0, 1);
+  heap.push(EventKind::DecodeStep, 2.0, 2);
+  EXPECT_EQ(heap.size(), 3U);
+  EXPECT_EQ(heap.pop().request, 1U);
+  EXPECT_EQ(heap.pop().request, 2U);
+  EXPECT_EQ(heap.pop().request, 0U);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(EventHeapTest, TiesBreakInPushOrder) {
+  // Simultaneous events pop in the order they were posted — the seq stamp is
+  // the determinism tie-break the whole sim core leans on.
+  EventHeap heap;
+  for (std::size_t i = 0; i < 16; ++i) heap.push(EventKind::Arrival, 1.5, i);
+  for (std::size_t i = 0; i < 16; ++i) {
+    const Event e = heap.pop();
+    EXPECT_EQ(e.request, i);
+    EXPECT_EQ(e.seq, i);
+  }
+}
+
+TEST(EventHeapTest, InterleavedTiesStillRespectSeq) {
+  EventHeap heap;
+  heap.push(EventKind::PrefillChunk, 2.0, 0);  // seq 0
+  heap.push(EventKind::Arrival, 1.0, 1);       // seq 1
+  heap.push(EventKind::DecodeStep, 2.0, 2);    // seq 2
+  heap.push(EventKind::Finish, 2.0, 3);        // seq 3
+  EXPECT_EQ(heap.pop().request, 1U);
+  EXPECT_EQ(heap.pop().kind, EventKind::PrefillChunk);
+  EXPECT_EQ(heap.pop().kind, EventKind::DecodeStep);
+  EXPECT_EQ(heap.pop().kind, EventKind::Finish);
+}
+
+TEST(EventHeapTest, TopPeeksWithoutPopping) {
+  EventHeap heap;
+  heap.push(EventKind::Arrival, 4.0, 7, 42);
+  EXPECT_EQ(heap.top().request, 7U);
+  EXPECT_EQ(heap.top().payload, 42U);
+  EXPECT_EQ(heap.size(), 1U);
+  EXPECT_EQ(heap.pop().payload, 42U);
+}
+
+TEST(EventHeapTest, PushedCountsLifetimePushes) {
+  EventHeap heap;
+  EXPECT_EQ(heap.pushed(), 0U);
+  heap.push(EventKind::Arrival, 1.0, 0);
+  heap.push(EventKind::Finish, 2.0, 0);
+  (void)heap.pop();
+  (void)heap.pop();
+  heap.push(EventKind::Evict, 3.0, 1);
+  EXPECT_EQ(heap.pushed(), 3U);
+  // seq keeps rising monotonically even after the heap drained.
+  EXPECT_EQ(heap.top().seq, 2U);
+}
+
+TEST(EventHeapTest, KindNamesAreStable) {
+  EXPECT_STREQ(to_string(EventKind::Arrival), "arrival");
+  EXPECT_STREQ(to_string(EventKind::PrefillChunk), "prefill_chunk");
+  EXPECT_STREQ(to_string(EventKind::DecodeStep), "decode_step");
+  EXPECT_STREQ(to_string(EventKind::TransferComplete), "transfer_complete");
+  EXPECT_STREQ(to_string(EventKind::Finish), "finish");
+  EXPECT_STREQ(to_string(EventKind::Evict), "evict");
+}
+
+}  // namespace
+}  // namespace hybrimoe::serve_sim

@@ -86,6 +86,84 @@ TEST(RequestStreamTest, BurstGroupsArriveTogetherAtTheSameMeanRate) {
   EXPECT_LT(rate, p.arrival_rate * 1.3);
 }
 
+TEST(RequestStreamTest, DiurnalIsDeterministicForSameSeed) {
+  auto p = tiny_params();
+  p.process = ArrivalProcess::Diurnal;
+  p.diurnal_period = 4.0;
+  p.diurnal_amplitude = 0.8;
+  const auto a = generate_request_stream(p);
+  const auto b = generate_request_stream(p);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_time, b[i].arrival_time);
+    EXPECT_EQ(a[i].prompt_tokens, b[i].prompt_tokens);
+  }
+}
+
+TEST(RequestStreamTest, DiurnalMeanRateRoughlyMatchesOverWholePeriods) {
+  auto p = tiny_params();
+  p.process = ArrivalProcess::Diurnal;
+  p.num_requests = 1024;
+  p.arrival_rate = 8.0;
+  p.diurnal_period = 4.0;  // ~32 day/night swings across the stream
+  p.diurnal_amplitude = 0.9;
+  const auto stream = generate_request_stream(p);
+  const double rate = static_cast<double>(p.num_requests) / stream.back().arrival_time;
+  // Thinning preserves the mean rate over whole periods.
+  EXPECT_GT(rate, p.arrival_rate * 0.7);
+  EXPECT_LT(rate, p.arrival_rate * 1.3);
+}
+
+TEST(RequestStreamTest, DiurnalRateActuallySwings) {
+  // Arrivals must cluster in the sinusoid's peaks: the densest
+  // quarter-period holds clearly more arrivals than the sparsest.
+  auto p = tiny_params();
+  p.process = ArrivalProcess::Diurnal;
+  p.num_requests = 1024;
+  p.arrival_rate = 8.0;
+  p.diurnal_period = 16.0;
+  p.diurnal_amplitude = 0.9;
+  const auto stream = generate_request_stream(p);
+  std::size_t peak = 0, trough = 0;
+  for (const auto& r : stream) {
+    // Phase 0..1 within the period; sin peaks in the first quarter and
+    // bottoms out in the third.
+    const double phase = r.arrival_time / p.diurnal_period;
+    const double frac = phase - static_cast<double>(static_cast<long>(phase));
+    if (frac < 0.25) ++peak;
+    if (frac >= 0.5 && frac < 0.75) ++trough;
+  }
+  EXPECT_GT(peak, trough * 2);
+}
+
+TEST(RequestStreamTest, ArrivalNamesRoundTripWithSuggestions) {
+  EXPECT_EQ(arrival_from_name("poisson"), ArrivalProcess::Poisson);
+  EXPECT_EQ(arrival_from_name("burst"), ArrivalProcess::Burst);
+  EXPECT_EQ(arrival_from_name("diurnal"), ArrivalProcess::Diurnal);
+  EXPECT_STREQ(to_string(ArrivalProcess::Diurnal), "diurnal");
+  try {
+    (void)arrival_from_name("diurnall");
+    FAIL() << "unknown arrival process accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("diurnal"), std::string::npos) << e.what();
+  }
+}
+
+TEST(RequestStreamTest, ValidateRejectsBadDiurnalParams) {
+  auto p = tiny_params();
+  p.process = ArrivalProcess::Diurnal;
+  p.diurnal_period = 0.0;
+  EXPECT_THROW((void)generate_request_stream(p), std::invalid_argument);
+  p = tiny_params();
+  p.process = ArrivalProcess::Diurnal;
+  p.diurnal_amplitude = 1.0;  // would let the rate touch zero
+  EXPECT_THROW((void)generate_request_stream(p), std::invalid_argument);
+  p = tiny_params();
+  p.process = ArrivalProcess::Diurnal;
+  p.diurnal_amplitude = -0.1;
+  EXPECT_THROW((void)generate_request_stream(p), std::invalid_argument);
+}
+
 TEST(RequestStreamTest, ValidateRejectsBadParams) {
   auto p = tiny_params();
   p.num_requests = 0;

@@ -8,8 +8,10 @@
 #    with one). Checked: src/exec/*.hpp (the most concurrency-dense code in
 #    the repository; undocumented thread-safety assumptions are how it would
 #    rot), the fault-injection headers (src/scenario/*.hpp — scenario specs
-#    are user-facing configuration; an undocumented knob is an unusable one)
-#    plus the device-topology headers (src/hw/topology.hpp,
+#    are user-facing configuration; an undocumented knob is an unusable one),
+#    the discrete-event serving core (src/serve_sim/*.hpp — its event
+#    ordering and KV-accounting invariants are the bit-identity contract the
+#    equivalence tests pin down) plus the device-topology headers (src/hw/topology.hpp,
 #    src/sched/device.hpp — the vocabulary every layer of the stack now
 #    speaks).
 #
@@ -27,7 +29,7 @@ fail=0
 # ---------------------------------------------------------------------------
 # 1. Doc-comment coverage.
 # ---------------------------------------------------------------------------
-doc_headers="src/exec/*.hpp src/scenario/*.hpp src/hw/topology.hpp src/sched/device.hpp"
+doc_headers="src/exec/*.hpp src/scenario/*.hpp src/serve_sim/*.hpp src/hw/topology.hpp src/sched/device.hpp"
 for header in $doc_headers; do
   out=$(awk '
     # Track public sections inside class bodies (structs default public).

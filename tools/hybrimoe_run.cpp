@@ -45,6 +45,10 @@ options:
   --requests N          number of requests in the stream    (default 12)
   --rate R              mean arrival rate, requests/second  (default 1.0)
   --burst               burst arrivals instead of Poisson
+  --arrival SHAPE       arrival process: poisson | burst | diurnal
+                        (default poisson; overrides --burst)
+  --diurnal-period S    diurnal sinusoid period in seconds  (default 60)
+  --diurnal-amplitude A relative diurnal rate swing in [0,1) (default 0.5)
   --seed N              stream + trace seed                 (default 42)
   --max-batch N         continuous-batching admission cap   (default 8)
   --chunk N             max prefill chunk tokens, 0 = whole (default 0)
@@ -61,6 +65,13 @@ options:
                         higher-tier decode would miss its TBT SLO
   --vip-slo S           VIP tier TBT SLO in seconds (enables SLO-aware
                         preemption; 0 = unset)
+  --kv-budget MB|auto   enable KV-cache accounting with this budget in MB;
+                        'auto' derives it from the resolved topology
+                        (overrides the spec's "kv" entry)
+  --kv-bytes-per-token B per-token KV footprint in bytes
+                        (default: derived from the model)
+  --admission MODE      KV admission policy: queue | reject | evict
+                        (default queue; requires KV accounting)
   --json PATH           write a machine-readable summary
   --print-spec          echo the canonical spec JSON and exit
   --list-stacks         list presets and registered components, then exit
@@ -89,6 +100,9 @@ struct Options {
   std::size_t requests = 12;
   double rate = 1.0;
   bool burst = false;
+  std::string arrival;  ///< empty = --burst flag decides (back-compat)
+  double diurnal_period = 60.0;
+  double diurnal_amplitude = 0.5;
   std::uint64_t seed = 42;
   std::size_t max_batch = 8;
   std::size_t chunk = 0;
@@ -99,6 +113,9 @@ struct Options {
   bool priority = false;
   bool preempt = false;
   double vip_slo = 0.0;
+  std::string kv_budget;  ///< "" = off, "auto" = topology-derived, else MB
+  double kv_bytes_per_token = 0.0;
+  std::string admission;  ///< "" = queue (only meaningful with KV accounting)
   std::string json_path;
   bool print_spec = false;
 };
@@ -144,6 +161,13 @@ Options parse_options(int argc, char** argv) {
       opts.print_spec = true;
     } else if (arg == "--burst") {
       opts.burst = true;
+    } else if (arg == "--arrival") {
+      opts.arrival = next(i, "--arrival");
+    } else if (arg == "--diurnal-period") {
+      opts.diurnal_period = to_double("--diurnal-period", next(i, "--diurnal-period"));
+    } else if (arg == "--diurnal-amplitude") {
+      opts.diurnal_amplitude =
+          to_double("--diurnal-amplitude", next(i, "--diurnal-amplitude"));
     } else if (arg == "--model") {
       opts.model = next(i, "--model");
     } else if (arg == "--topology") {
@@ -177,6 +201,15 @@ Options parse_options(int argc, char** argv) {
       opts.preempt = true;
     } else if (arg == "--vip-slo") {
       opts.vip_slo = to_double("--vip-slo", next(i, "--vip-slo"));
+    } else if (arg == "--kv-budget") {
+      opts.kv_budget = next(i, "--kv-budget");
+      if (opts.kv_budget != "auto")
+        (void)to_double("--kv-budget", opts.kv_budget);
+    } else if (arg == "--kv-bytes-per-token") {
+      opts.kv_bytes_per_token =
+          to_double("--kv-bytes-per-token", next(i, "--kv-bytes-per-token"));
+    } else if (arg == "--admission") {
+      opts.admission = next(i, "--admission");
     } else if (arg == "--json") {
       opts.json_path = next(i, "--json");
     } else if (arg == "--stack") {
@@ -248,6 +281,10 @@ int main(int argc, char** argv) {
     stream.arrival_rate = opts.rate;
     stream.process = opts.burst ? workload::ArrivalProcess::Burst
                                 : workload::ArrivalProcess::Poisson;
+    if (!opts.arrival.empty())
+      stream.process = workload::arrival_from_name(opts.arrival);
+    stream.diurnal_period = opts.diurnal_period;
+    stream.diurnal_amplitude = opts.diurnal_amplitude;
     stream.seed = opts.seed;
     stream.vip_fraction = opts.vip_frac;
     stream.best_effort_fraction = opts.be_frac;
@@ -264,6 +301,27 @@ int main(int argc, char** argv) {
     if (opts.vip_slo > 0.0)
       serve_options.tiers[workload::priority_index(workload::Priority::Vip)]
           .tbt_slo = opts.vip_slo;
+
+    // KV accounting: --kv-budget overrides the spec's "kv" entry; 'auto'
+    // derives the budget from the resolved topology. The mode/footprint
+    // flags refine whichever KvSpec is in force.
+    if (!opts.kv_budget.empty()) {
+      serve_sim::KvSpec kv;
+      kv.budget_mb = opts.kv_budget == "auto"
+                         ? serve_sim::derived_kv_budget_mb(*spec.topology)
+                         : std::stod(opts.kv_budget);
+      stack.kv = kv;
+    }
+    if (!opts.admission.empty() || opts.kv_bytes_per_token > 0.0) {
+      if (!stack.kv.has_value())
+        throw std::invalid_argument(
+            "--admission/--kv-bytes-per-token need KV accounting — pass "
+            "--kv-budget or a spec with a \"kv\" entry");
+      if (!opts.admission.empty())
+        stack.kv->mode = serve_sim::admission_from_name(opts.admission);
+      if (opts.kv_bytes_per_token > 0.0)
+        stack.kv->bytes_per_token = opts.kv_bytes_per_token;
+    }
 
     // The scenario driver shares the harness's cost model with the engines
     // the harness builds, so its before_step mutations are seen by the run.
@@ -288,8 +346,13 @@ int main(int argc, char** argv) {
 
     const auto metrics = harness.serve(stack, request_specs, serve_options);
 
-    const auto ttft = metrics.ttft_tails();
-    const auto tbt = metrics.tbt_tails();
+    // A fully shed stream (tight KV budget under reject admission) has no
+    // latency samples — report zeros instead of tripping the accessors'
+    // preconditions.
+    runtime::ServeMetrics::TailSummary ttft{};
+    runtime::ServeMetrics::TailSummary tbt{};
+    if (metrics.finished_count() > 0) ttft = metrics.ttft_tails();
+    if (!metrics.tbts().empty()) tbt = metrics.tbt_tails();
     util::TextTable table("serving results — " + stack.display_name());
     table.set_headers({"metric", "value"});
     auto row = [&table](const std::string& k, const std::string& v) {
@@ -309,6 +372,13 @@ int main(int argc, char** argv) {
     row("TBT p50/p95/p99", util::format_seconds(tbt.p50) + " / " +
                                util::format_seconds(tbt.p95) + " / " +
                                util::format_seconds(tbt.p99));
+    if (metrics.kv.budget_bytes > 0.0) {
+      row("KV budget / peak",
+          util::format_double(metrics.kv.budget_bytes / 1e6, 1) + " MB / " +
+              util::format_double(metrics.kv.peak_bytes / 1e6, 1) + " MB");
+      row("KV rejects / evictions", std::to_string(metrics.kv.rejected) + " / " +
+                                        std::to_string(metrics.kv.evictions));
+    }
     row("cache hit rate",
         util::format_double(metrics.steps.cache.hit_rate() * 100.0, 1) + "%");
     row("transfers / prefetches / maintenance",
@@ -338,8 +408,25 @@ int main(int argc, char** argv) {
            << ttft.p95 << ",\n  \"ttft_p99_s\": " << ttft.p99
            << ",\n  \"tbt_p50_s\": " << tbt.p50 << ",\n  \"tbt_p95_s\": " << tbt.p95
            << ",\n  \"tbt_p99_s\": " << tbt.p99
-           << ",\n  \"cache_hit_rate\": " << metrics.steps.cache.hit_rate()
-           << "\n}\n";
+           << ",\n  \"cache_hit_rate\": " << metrics.steps.cache.hit_rate();
+      // New fields are gated so KV-free (and diurnal-free) artifacts stay
+      // byte-identical to the pre-event-engine schema bench_priority_isolation
+      // and the golden regression tests consume.
+      if (stream.process == workload::ArrivalProcess::Diurnal) {
+        json << ",\n  \"arrival\": \"diurnal\""
+             << ",\n  \"diurnal_period_s\": " << stream.diurnal_period
+             << ",\n  \"diurnal_amplitude\": " << stream.diurnal_amplitude;
+      }
+      if (metrics.kv.budget_bytes > 0.0) {
+        json << ",\n  \"requests_rejected\": " << metrics.rejected_count()
+             << ",\n  \"kv_budget_mb\": " << metrics.kv.budget_bytes / 1e6
+             << ",\n  \"kv_peak_mb\": " << metrics.kv.peak_bytes / 1e6
+             << ",\n  \"kv_rejected\": " << metrics.kv.rejected
+             << ",\n  \"kv_evictions\": " << metrics.kv.evictions
+             << ",\n  \"admission\": \""
+             << serve_sim::to_string(stack.kv->mode) << "\"";
+      }
+      json << "\n}\n";
       std::cout << "\nWrote " << opts.json_path << "\n";
     }
   } catch (const std::exception& e) {
