@@ -9,6 +9,10 @@
 /// registered presets and component families, then exit), so any point of
 /// the scheduler x cache x prefetcher cross-product can be benchmarked
 /// without recompiling.
+///
+/// Bench JSON artifacts are written through util::JsonWriter (re-exported
+/// here) — one escaping/formatting path shared with `hybrimoe_run --json`
+/// and the trace subsystem, so hybrimoe_compare can align any of them.
 
 #include <cstdlib>
 #include <fstream>
@@ -20,6 +24,7 @@
 
 #include "runtime/session.hpp"
 #include "runtime/stack_registry.hpp"
+#include "util/json_writer.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workload/datasets.hpp"

@@ -159,23 +159,26 @@ int main(int argc, char** argv) {
 
   if (argc > 1) {
     std::ofstream json(argv[1]);
-    json << "{\n  \"bench\": \"exec_validation\",\n  \"model\": \"" << model.name
-         << "\",\n  \"decode_steps\": " << kSteps
-         << ",\n  \"time_scale\": " << exec_options.time_scale
-         << ",\n  \"error_bound\": " << kHybriMoeErrorBound
-         << ",\n  \"runs\": [\n";
-    for (std::size_t i = 0; i < threaded.size(); ++i) {
-      const Row& row = threaded[i];
-      json << "    {\"framework\": \"" << row.framework
-           << "\", \"workers\": " << row.workers
-           << ", \"modeled_s\": " << row.modeled
-           << ", \"measured_s\": " << row.measured
-           << ", \"error\": " << row.error() << "}"
-           << (i + 1 < threaded.size() ? "," : "") << "\n";
+    util::JsonWriter w(json);
+    w.field("bench").string("exec_validation");
+    w.field("model").string(model.name);
+    w.field("decode_steps").number(kSteps);
+    w.field("time_scale").number(exec_options.time_scale);
+    w.field("error_bound").number(kHybriMoeErrorBound);
+    w.field("runs").begin_array();
+    for (const Row& row : threaded) {
+      auto item = w.row();
+      item.field("framework").string(row.framework);
+      item.field("workers").number(row.workers);
+      item.field("modeled_s").number(row.modeled);
+      item.field("measured_s").number(row.measured);
+      item.field("error").number(row.error());
+      item.close();
     }
-    json << "  ],\n  \"digests_ok\": " << (digests_ok ? "true" : "false")
-         << ",\n  \"hybrimoe_within_bound\": " << (hybrimoe_ok ? "true" : "false")
-         << "\n}\n";
+    w.end_array();
+    w.field("digests_ok").boolean(digests_ok);
+    w.field("hybrimoe_within_bound").boolean(hybrimoe_ok);
+    w.finish();
     std::cout << "\nWrote " << argv[1] << "\n";
   }
 

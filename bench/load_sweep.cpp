@@ -176,28 +176,34 @@ int main(int argc, char** argv) {
 
   if (!args.positional.empty()) {
     std::ofstream json(args.positional.front());
-    json << "{\n  \"bench\": \"load_sweep\",\n  \"model\": \"" << model.name
-         << "\",\n  \"stack\": " << runtime::json_quote(stack.display_name())
-         << ",\n  \"tbt_slo\": " << kTbtSlo
-         << ",\n  \"kv_budget_mb\": " << options.kv.budget_mb
-         << ",\n  \"admission\": \"" << to_string(options.kv.mode)
-         << "\",\n  \"points\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const auto& r = rows[i];
-      json << "    {\"shape\": " << runtime::json_quote(r.shape)
-           << ", \"rate\": " << r.arrival_rate << ", \"requests\": " << r.requests
-           << ", \"finished\": " << r.finished << ", \"rejected\": " << r.rejected
-           << ", \"evictions\": " << r.evictions
-           << ", \"reject_rate\": " << r.reject_rate
-           << ", \"ttft_p50_s\": " << r.ttft_p50
-           << ", \"ttft_p99_s\": " << r.ttft_p99
-           << ", \"tbt_p50_s\": " << r.tbt_p50 << ", \"tbt_p99_s\": " << r.tbt_p99
-           << ", \"throughput_tok_s\": " << r.throughput
-           << ", \"goodput_tok_s\": " << r.goodput
-           << ", \"makespan_s\": " << r.makespan << "}"
-           << (i + 1 < rows.size() ? "," : "") << "\n";
+    util::JsonWriter w(json);
+    w.field("bench").string("load_sweep");
+    w.field("model").string(model.name);
+    w.field("stack").string(stack.display_name());
+    w.field("tbt_slo").number(kTbtSlo);
+    w.field("kv_budget_mb").number(options.kv.budget_mb);
+    w.field("admission").string(to_string(options.kv.mode));
+    w.field("points").begin_array();
+    for (const auto& r : rows) {
+      auto item = w.row();
+      item.field("shape").string(r.shape);
+      item.field("rate").number(r.arrival_rate);
+      item.field("requests").number(r.requests);
+      item.field("finished").number(r.finished);
+      item.field("rejected").number(r.rejected);
+      item.field("evictions").number(r.evictions);
+      item.field("reject_rate").number(r.reject_rate);
+      item.field("ttft_p50_s").number(r.ttft_p50);
+      item.field("ttft_p99_s").number(r.ttft_p99);
+      item.field("tbt_p50_s").number(r.tbt_p50);
+      item.field("tbt_p99_s").number(r.tbt_p99);
+      item.field("throughput_tok_s").number(r.throughput);
+      item.field("goodput_tok_s").number(r.goodput);
+      item.field("makespan_s").number(r.makespan);
+      item.close();
     }
-    json << "  ]\n}\n";
+    w.end_array();
+    w.finish();
     std::cout << "\nWrote " << args.positional.front() << "\n";
   }
 

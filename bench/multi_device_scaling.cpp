@@ -121,18 +121,23 @@ int main(int argc, char** argv) {
 
   if (!args.positional.empty()) {
     std::ofstream json(args.positional.front());
-    json << "{\n  \"bench\": \"multi_device_scaling\",\n  \"model\": \""
-         << model.name << "\",\n  \"decode_steps\": " << kScalingDecodeSteps
-         << ",\n  \"pass\": " << (fail ? "false" : "true") << ",\n  \"cells\": [\n";
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-      const Cell& c = cells[i];
-      json << "    {\"devices\": " << c.devices
-           << ", \"stack\": " << runtime::json_quote(c.stack)
-           << ", \"tbt_s\": " << c.tbt << ", \"hit_rate\": " << c.hit_rate
-           << ", \"transfers\": " << c.transfers << "}"
-           << (i + 1 < cells.size() ? "," : "") << "\n";
+    util::JsonWriter w(json);
+    w.field("bench").string("multi_device_scaling");
+    w.field("model").string(model.name);
+    w.field("decode_steps").number(kScalingDecodeSteps);
+    w.field("pass").boolean(!fail);
+    w.field("cells").begin_array();
+    for (const Cell& c : cells) {
+      auto item = w.row();
+      item.field("devices").number(c.devices);
+      item.field("stack").string(c.stack);
+      item.field("tbt_s").number(c.tbt);
+      item.field("hit_rate").number(c.hit_rate);
+      item.field("transfers").number(c.transfers);
+      item.close();
     }
-    json << "  ]\n}\n";
+    w.end_array();
+    w.finish();
     std::cout << "Wrote " << args.positional.front() << "\n";
   }
 

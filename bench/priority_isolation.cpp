@@ -153,24 +153,26 @@ int main(int argc, char** argv) {
 
   if (!args.positional.empty()) {
     std::ofstream json(args.positional.front());
-    json << "{\n  \"bench\": \"priority_isolation\",\n  \"model\": \""
-         << model.name << "\",\n  \"stack\": "
-         << runtime::json_quote(stack.display_name())
-         << ",\n  \"isolation_bound\": " << kIsolationBound
-         << ",\n  \"vip_p99_tbt_ratio\": " << ratio
-         << ",\n  \"isolation_held\": " << (violated ? "false" : "true")
-         << ",\n  \"runs\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& row = rows[i];
-      json << "    {\"run\": " << runtime::json_quote(row.label)
-           << ", \"vip_tbt_p50_s\": " << row.vip_tbt.p50
-           << ", \"vip_tbt_p99_s\": " << row.vip_tbt.p99
-           << ", \"vip_ttft_p99_s\": " << row.vip_ttft.p99
-           << ", \"throughput_tok_s\": " << row.throughput
-           << ", \"finished\": " << row.finished << "}"
-           << (i + 1 < rows.size() ? "," : "") << "\n";
+    util::JsonWriter w(json);
+    w.field("bench").string("priority_isolation");
+    w.field("model").string(model.name);
+    w.field("stack").string(stack.display_name());
+    w.field("isolation_bound").number(kIsolationBound);
+    w.field("vip_p99_tbt_ratio").number(ratio);
+    w.field("isolation_held").boolean(!violated);
+    w.field("runs").begin_array();
+    for (const Row& row : rows) {
+      auto item = w.row();
+      item.field("run").string(row.label);
+      item.field("vip_tbt_p50_s").number(row.vip_tbt.p50);
+      item.field("vip_tbt_p99_s").number(row.vip_tbt.p99);
+      item.field("vip_ttft_p99_s").number(row.vip_ttft.p99);
+      item.field("throughput_tok_s").number(row.throughput);
+      item.field("finished").number(row.finished);
+      item.close();
     }
-    json << "  ]\n}\n";
+    w.end_array();
+    w.finish();
     std::cout << "Wrote " << args.positional.front() << "\n";
   }
 

@@ -121,21 +121,28 @@ int main(int argc, char** argv) {
 
   if (!args.positional.empty()) {
     std::ofstream json(args.positional.front());
-    json << "{\n  \"bench\": \"serving_load\",\n  \"model\": \"" << model.name
-         << "\",\n  \"tbt_slo\": " << kTbtSlo << ",\n  \"points\": [\n";
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      const Point& p = points[i];
-      json << "    {\"rate\": " << p.rate
-           << ", \"framework\": " << runtime::json_quote(p.stack)
-           << ", \"throughput_tok_s\": " << p.throughput
-           << ", \"goodput_tok_s\": " << p.goodput
-           << ", \"ttft_p50_s\": " << p.ttft.p50 << ", \"ttft_p95_s\": " << p.ttft.p95
-           << ", \"ttft_p99_s\": " << p.ttft.p99 << ", \"tbt_p50_s\": " << p.tbt.p50
-           << ", \"tbt_p95_s\": " << p.tbt.p95 << ", \"tbt_p99_s\": " << p.tbt.p99
-           << ", \"mean_step_makespan_s\": " << p.mean_step_makespan << "}"
-           << (i + 1 < points.size() ? "," : "") << "\n";
+    util::JsonWriter w(json);
+    w.field("bench").string("serving_load");
+    w.field("model").string(model.name);
+    w.field("tbt_slo").number(kTbtSlo);
+    w.field("points").begin_array();
+    for (const Point& p : points) {
+      auto item = w.row();
+      item.field("rate").number(p.rate);
+      item.field("framework").string(p.stack);
+      item.field("throughput_tok_s").number(p.throughput);
+      item.field("goodput_tok_s").number(p.goodput);
+      item.field("ttft_p50_s").number(p.ttft.p50);
+      item.field("ttft_p95_s").number(p.ttft.p95);
+      item.field("ttft_p99_s").number(p.ttft.p99);
+      item.field("tbt_p50_s").number(p.tbt.p50);
+      item.field("tbt_p95_s").number(p.tbt.p95);
+      item.field("tbt_p99_s").number(p.tbt.p99);
+      item.field("mean_step_makespan_s").number(p.mean_step_makespan);
+      item.close();
     }
-    json << "  ]\n}\n";
+    w.end_array();
+    w.finish();
     std::cout << "\nWrote " << args.positional.front() << "\n";
   }
 

@@ -114,24 +114,30 @@ int main(int argc, char** argv) {
 
   if (!args.positional.empty()) {
     std::ofstream json(args.positional.front());
-    json << "{\n  \"bench\": \"stack_matrix\",\n  \"model\": \"" << model.name
-         << "\",\n  \"cache_ratio\": 0.25,\n  \"prefill_tokens\": " << kPrefillTokens
-         << ",\n  \"decode_steps\": " << kMatrixDecodeSteps << ",\n  \"stacks\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      json << "    {\"stack\": " << runtime::json_quote(r.spec.display_name())
-           << ", \"scheduler\": " << runtime::json_quote(r.spec.scheduler.policy)
-           << ", \"cache\": " << runtime::json_quote(r.spec.cache.policy)
-           << ", \"prefetch\": " << runtime::json_quote(r.spec.prefetch.policy)
-           << ", \"off_preset\": " << (r.off_preset ? "true" : "false")
-           << ", \"ttft_s\": " << r.ttft << ", \"tbt_s\": " << r.tbt
-           << ", \"hit_rate\": " << r.hit_rate
-           << ", \"transfers\": " << r.transfers
-           << ", \"prefetches\": " << r.prefetches
-           << ", \"maintenance\": " << r.maintenance << "}"
-           << (i + 1 < rows.size() ? "," : "") << "\n";
+    util::JsonWriter w(json);
+    w.field("bench").string("stack_matrix");
+    w.field("model").string(model.name);
+    w.field("cache_ratio").number(0.25);
+    w.field("prefill_tokens").number(kPrefillTokens);
+    w.field("decode_steps").number(kMatrixDecodeSteps);
+    w.field("stacks").begin_array();
+    for (const Row& r : rows) {
+      auto item = w.row();
+      item.field("stack").string(r.spec.display_name());
+      item.field("scheduler").string(r.spec.scheduler.policy);
+      item.field("cache").string(r.spec.cache.policy);
+      item.field("prefetch").string(r.spec.prefetch.policy);
+      item.field("off_preset").boolean(r.off_preset);
+      item.field("ttft_s").number(r.ttft);
+      item.field("tbt_s").number(r.tbt);
+      item.field("hit_rate").number(r.hit_rate);
+      item.field("transfers").number(r.transfers);
+      item.field("prefetches").number(r.prefetches);
+      item.field("maintenance").number(r.maintenance);
+      item.close();
     }
-    json << "  ]\n}\n";
+    w.end_array();
+    w.finish();
     std::cout << "\nWrote " << args.positional.front() << "\n";
   }
 

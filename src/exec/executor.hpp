@@ -181,6 +181,20 @@ class HybridExecutor {
   [[nodiscard]] double calibrate_time_scale(const hw::CostModel& costs,
                                             double safety = 8.0);
 
+  /// Copy links spun up so far (lazily grown by ensure_started; 0 before
+  /// the first threaded layer).
+  [[nodiscard]] std::size_t num_links() const noexcept { return copiers_.size(); }
+
+  /// Copy jobs completed on link `link` so far (monotonic; 0 for a link that
+  /// never started). Every expert upload the engine accounts — on-demand,
+  /// prefetch or maintenance — is exactly one copy job on its target link,
+  /// so these totals are the execution-side witness the trace subsystem's
+  /// conservation checks compare per-step transfer records against. Call
+  /// between steps (end_step drains the copiers).
+  [[nodiscard]] std::uint64_t link_transfers_completed(std::size_t link) const {
+    return link < copiers_.size() ? copiers_[link]->completed() : 0;
+  }
+
  private:
   struct LayerBoard;
   /// Lazily spawn the worker pool plus one copy thread per link and one lane

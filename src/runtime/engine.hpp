@@ -102,6 +102,12 @@ class OffloadEngine {
   [[nodiscard]] exec::ExecutionMode execution_mode() const noexcept {
     return components_.execution_mode;
   }
+  /// \brief The execution backend, if one is attached (may be null; may be
+  /// shared across engines that run sequentially).
+  [[nodiscard]] const std::shared_ptr<exec::HybridExecutor>& executor()
+      const noexcept {
+    return components_.executor;
+  }
 
   /// \brief Pre-populate the device caches (from warmup frequencies),
   /// filling across devices round-robin. Pinned entries model static

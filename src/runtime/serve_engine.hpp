@@ -50,7 +50,11 @@
 
 namespace hybrimoe::runtime {
 
-/// Completed-step summary handed to StepHook::after_step.
+/// Completed-step summary handed to StepHook::after_step. The serving-state
+/// block (waiting depths, cumulative rejection/preemption/KV counters) is
+/// snapshotted when the step is composed — hooks are pure observers, so the
+/// extra fields cost nothing on the hook-free fast path (the core fills the
+/// struct unconditionally either way).
 struct StepInfo {
   std::size_t index = 0;        ///< engine step index (0-based, idle gaps excluded)
   double start_clock = 0.0;     ///< serving clock when the step began
@@ -60,6 +64,14 @@ struct StepInfo {
   std::size_t prefill_tokens = 0;
   std::size_t decode_tokens = 0;
   std::size_t active_requests = 0;  ///< batch size when the step ran
+  std::size_t waiting_requests = 0;  ///< surfaced, unadmitted when composed
+  /// Waiting requests per priority tier (workload::priority_index order).
+  std::array<std::size_t, workload::kNumPriorities> waiting_by_tier{};
+  std::size_t rejected_total = 0;     ///< cumulative admission rejections
+  std::size_t preemptions_total = 0;  ///< cumulative deferred prefill steps
+  double kv_used_bytes = 0.0;   ///< KV reservation when composed (0 = no KV)
+  double kv_peak_bytes = 0.0;   ///< KV high-water mark so far
+  std::size_t kv_evictions_total = 0;  ///< cumulative KV-pressure evictions
 };
 
 /// Observation/perturbation points around every composed serving step — the

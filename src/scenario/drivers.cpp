@@ -6,17 +6,31 @@
 
 namespace hybrimoe::scenario {
 
-ScenarioDriver::ScenarioDriver(ScenarioSpec spec, hw::CostModel& costs)
-    : spec_(spec), costs_(costs) {
+ScenarioDriver::ScenarioDriver(ScenarioSpec spec, hw::CostModel& costs,
+                               trace::Recorder* recorder)
+    : spec_(spec), costs_(costs), recorder_(recorder) {
   spec_.validate();
   if (spec_.family == Family::StragglerLink || spec_.family == Family::DeviceLoss)
     HYBRIMOE_REQUIRE(spec_.accel < costs_.num_accelerators(),
                      "scenario targets an accelerator outside the topology");
+  if (recorder_ == nullptr) {
+    trace::RecorderConfig config;
+    config.costs = &costs_;
+    owned_recorder_ = std::make_unique<trace::Recorder>(std::move(config));
+    recorder_ = owned_recorder_.get();
+  }
 }
 
 void ScenarioDriver::before_step(std::size_t step_index, double clock,
                                  runtime::OffloadEngine& engine) {
-  (void)clock;
+  // Faults first, so the recorder snapshots the topology the step will
+  // actually run under.
+  apply_faults(step_index, engine);
+  recorder_->before_step(step_index, clock, engine);
+}
+
+void ScenarioDriver::apply_faults(std::size_t step_index,
+                                  runtime::OffloadEngine& engine) {
   switch (spec_.family) {
     case Family::StragglerLink: {
       const bool in_window = step_index >= spec_.start_step &&
@@ -81,28 +95,7 @@ void ScenarioDriver::transform_step(std::size_t step_index,
 
 void ScenarioDriver::after_step(const runtime::StepInfo& info,
                                 const runtime::StageMetrics& steps) {
-  StepRecord record;
-  record.index = info.index;
-  record.start_clock = info.start_clock;
-  record.end_clock = info.end_clock;
-  record.latency = info.latency;
-  record.prefill_tokens = info.prefill_tokens;
-  record.decode_tokens = info.decode_tokens;
-  record.active_requests = info.active_requests;
-  const std::size_t n = steps.device_transfers.size();
-  prev_transfers_.resize(n, 0);
-  record.transfers_to_device.resize(n, 0);
-  for (std::size_t a = 0; a < n; ++a) {
-    record.transfers_to_device[a] = steps.device_transfers[a] - prev_transfers_[a];
-    prev_transfers_[a] = steps.device_transfers[a];
-  }
-  record.device_available.resize(costs_.num_accelerators(), 1);
-  record.link_scale.resize(costs_.num_accelerators(), 1.0);
-  for (std::size_t a = 0; a < costs_.num_accelerators(); ++a) {
-    record.device_available[a] = costs_.accelerator_available(a) ? 1 : 0;
-    record.link_scale[a] = costs_.link_bandwidth_scale(a);
-  }
-  timeline_.push_back(std::move(record));
+  recorder_->after_step(info, steps);
 }
 
 std::vector<workload::RequestSpec> shape_stream(

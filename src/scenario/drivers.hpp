@@ -34,34 +34,27 @@
 /// of. Scenario drivers observe events; they still perturb runs through the
 /// before_step/transform_step seams, which keeps hook-free serving
 /// bit-identical.
+///
+/// Recording is delegated to a trace::Recorder — the same machinery behind
+/// `hybrimoe_run --trace` — so scenario timelines and streamed traces are
+/// one format. A driver owns a private in-memory recorder by default; pass
+/// an external one to additionally stream the run's trace to a sink.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "hw/cost_model.hpp"
 #include "runtime/serve_engine.hpp"
 #include "scenario/scenario_spec.hpp"
+#include "trace/recorder.hpp"
 #include "workload/request_stream.hpp"
 
 namespace hybrimoe::scenario {
 
-/// One recorded serving step (appended by after_step).
-struct StepRecord {
-  std::size_t index = 0;
-  double start_clock = 0.0;
-  double end_clock = 0.0;
-  double latency = 0.0;
-  std::size_t prefill_tokens = 0;
-  std::size_t decode_tokens = 0;
-  std::size_t active_requests = 0;
-  /// Expert uploads targeting each accelerator *during this step* (delta of
-  /// the engine's cumulative per-device counters).
-  std::vector<std::size_t> transfers_to_device;
-  /// Device health while the step ran (after before_step's mutations).
-  std::vector<std::uint8_t> device_available;
-  /// Link bandwidth scale while the step ran.
-  std::vector<double> link_scale;
-};
+/// One recorded serving step — the shared trace-stream record (the scenario
+/// invariant checkers consume the same struct the trace subsystem emits).
+using StepRecord = trace::StepRecord;
 
 /// The fault injector. Mutates the *cost model* (shared with the engine) in
 /// before_step and the merged trace in transform_step; requires mutable
@@ -70,40 +63,47 @@ struct StepRecord {
 class ScenarioDriver final : public runtime::StepHook {
  public:
   /// \brief Bind the driver to its scenario and the run's cost model (which
-  /// must outlive the driver). Validates the spec.
-  ScenarioDriver(ScenarioSpec spec, hw::CostModel& costs);
+  /// must outlive the driver). Validates the spec. With no external
+  /// recorder the driver records into a private in-memory trace::Recorder;
+  /// an external `recorder` (not owned, must outlive the driver) receives
+  /// the records instead — e.g. one with a TraceSink attached.
+  ScenarioDriver(ScenarioSpec spec, hw::CostModel& costs,
+                 trace::Recorder* recorder = nullptr);
 
   /// The validated scenario this driver injects.
   [[nodiscard]] const ScenarioSpec& spec() const noexcept { return spec_; }
   /// Per-step timeline recorded so far (one entry per completed step).
   [[nodiscard]] const std::vector<StepRecord>& timeline() const noexcept {
-    return timeline_;
+    return recorder_->timeline();
   }
   /// Raw simulation events recorded so far, in (time, seq) pop order.
   [[nodiscard]] const std::vector<serve_sim::Event>& events() const noexcept {
-    return events_;
+    return recorder_->events();
   }
 
-  /// Apply window-edge fault transitions (straggle/restore, lose/recover).
+  /// Apply window-edge fault transitions (straggle/restore, lose/recover),
+  /// then let the recorder observe the engine.
   void before_step(std::size_t step_index, double clock,
                    runtime::OffloadEngine& engine) override;
   /// Rotate the merged trace's routing inside a cache-thrash window.
   void transform_step(std::size_t step_index,
                       workload::ForwardTrace& merged) override;
-  /// Append this step's StepRecord to the timeline.
+  /// Delegate this step's record to the trace recorder.
   void after_step(const runtime::StepInfo& info,
                   const runtime::StageMetrics& steps) override;
-  /// Record the popped event into the event timeline.
+  /// Delegate the popped event to the trace recorder.
   void on_sim_event(const serve_sim::Event& event) override {
-    events_.push_back(event);
+    recorder_->on_sim_event(event);
   }
 
  private:
+  /// Window-edge fault transitions for the step about to run.
+  void apply_faults(std::size_t step_index, runtime::OffloadEngine& engine);
+
   ScenarioSpec spec_;
   hw::CostModel& costs_;
-  std::vector<StepRecord> timeline_;
-  std::vector<serve_sim::Event> events_;
-  std::vector<std::size_t> prev_transfers_;  ///< cumulative counters last step
+  std::unique_ptr<trace::Recorder> owned_recorder_;  ///< when none was passed
+  trace::Recorder* recorder_;  ///< the active recorder (owned or external)
   bool fault_active_ = false;  ///< straggler applied / device currently lost
 };
 

@@ -39,6 +39,7 @@ void SimCore::reject(Request& r) {
   r.state = RequestState::Rejected;
   metrics_.requests[index_of(&r)].rejected = true;
   ++terminal_;
+  ++rejected_total_;
 }
 
 runtime::ServeMetrics SimCore::run(std::vector<Request>& requests) {
@@ -379,6 +380,7 @@ bool SimCore::try_dispatch() {
     if (defer) {
       if (candidate->state == RequestState::Prefill) candidate->preempt(clock_);
       ++candidate->preempt_streak;
+      ++preemptions_total_;
       metrics_.requests[index_of(candidate)].preemptions = candidate->preemptions;
     } else if (candidate->state == RequestState::Preempted) {
       candidate->resume(clock_);
@@ -469,6 +471,16 @@ bool SimCore::try_dispatch() {
   step_info_.prefill_tokens = prefill_tokens;
   step_info_.decode_tokens = decode_tokens;
   step_info_.active_requests = batch_size;
+  step_info_.waiting_requests = waiting_.size();
+  for (const Request* r : waiting_)
+    ++step_info_.waiting_by_tier[workload::priority_index(r->spec.priority)];
+  step_info_.rejected_total = rejected_total_;
+  step_info_.preemptions_total = preemptions_total_;
+  if (accountant_.has_value()) {
+    step_info_.kv_used_bytes = accountant_->used();
+    step_info_.kv_peak_bytes = accountant_->peak();
+  }
+  step_info_.kv_evictions_total = kv_evictions_;
   return true;
 }
 

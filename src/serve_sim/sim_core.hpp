@@ -100,6 +100,9 @@ class SimCore {
   std::optional<KvAccountant> accountant_;
   std::size_t kv_rejected_ = 0;
   std::size_t kv_evictions_ = 0;
+  // Cumulative serving-state counters snapshotted into every StepInfo.
+  std::size_t rejected_total_ = 0;
+  std::size_t preemptions_total_ = 0;
 };
 
 }  // namespace hybrimoe::serve_sim

@@ -1,0 +1,224 @@
+#include "trace/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "trace/schema.hpp"
+#include "util/json.hpp"
+
+namespace hybrimoe::trace {
+
+namespace {
+
+using util::json::Array;
+using util::json::Object;
+using util::json::Parser;
+using util::json::Value;
+
+/// Append every numeric/boolean leaf of `v` under the dotted/indexed prefix.
+void flatten(const Value& v, const std::string& prefix,
+             std::vector<Metric>& out) {
+  if (std::holds_alternative<double>(v.value)) {
+    out.push_back({prefix, std::get<double>(v.value)});
+  } else if (std::holds_alternative<bool>(v.value)) {
+    out.push_back({prefix, std::get<bool>(v.value) ? 1.0 : 0.0});
+  } else if (v.is_object()) {
+    for (const auto& [key, child] : std::get<Object>(v.value))
+      flatten(child, prefix.empty() ? key : prefix + "." + key, out);
+  } else if (v.is_array()) {
+    const Array& items = std::get<Array>(v.value);
+    for (std::size_t i = 0; i < items.size(); ++i)
+      flatten(items[i], prefix + "[" + std::to_string(i) + "]", out);
+  }
+  // Strings carry identity (stack/model names), not measurements — skipped.
+}
+
+/// The string field `key` of a record line, or "" when absent.
+std::string_view string_field(const Object& object, std::string_view key) {
+  for (const auto& [k, v] : object)
+    if (k == key && v.is_string()) return std::get<std::string>(v.value);
+  return {};
+}
+
+/// The numeric field `key` of a record line, or `fallback` when absent.
+double number_field(const Object& object, std::string_view key, double fallback) {
+  for (const auto& [k, v] : object)
+    if (k == key && std::holds_alternative<double>(v.value))
+      return std::get<double>(v.value);
+  return fallback;
+}
+
+Artifact parse_trace(std::string_view text, const char* label) {
+  Artifact artifact;
+  artifact.kind = Artifact::Kind::Trace;
+  std::unordered_map<std::string, std::size_t> event_counts;
+  std::vector<std::string> event_order;
+  std::size_t line_number = 0;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(begin, end - begin);
+    begin = end + 1;
+    ++line_number;
+    if (line.empty()) continue;
+    const Value value = Parser(line, label).parse_document();
+    const Object& record = std::get<Object>(value.value);
+    const std::string_view kind = string_field(record, "kind");
+    if (kind == "header") {
+      artifact.schema = string_field(record, "schema");
+      artifact.version =
+          static_cast<std::uint32_t>(number_field(record, "version", 0.0));
+      for (const auto& [key, child] : record)
+        if (std::holds_alternative<double>(child.value))
+          artifact.metrics.push_back(
+              {"header." + key, std::get<double>(child.value)});
+    } else if (kind == "step") {
+      const auto index =
+          static_cast<std::size_t>(number_field(record, "index", 0.0));
+      const std::string prefix = "step[" + std::to_string(index) + "]";
+      for (const auto& [key, child] : record) {
+        if (key == "kind" || key == "index") continue;
+        flatten(child, prefix + "." + key, artifact.metrics);
+      }
+    } else if (kind == "event") {
+      const std::string type(string_field(record, "type"));
+      if (event_counts.emplace(type, 0).second) event_order.push_back(type);
+      ++event_counts[type];
+    } else if (kind == "summary") {
+      for (const auto& [key, child] : record) {
+        if (key == "kind") continue;
+        flatten(child, "summary." + key, artifact.metrics);
+      }
+    } else {
+      util::json::error(label, value.offset,
+                        "trace line " + std::to_string(line_number) +
+                            " has unknown kind '" + std::string(kind) + "'");
+    }
+  }
+  for (const std::string& type : event_order)
+    artifact.metrics.push_back(
+        {"events." + type, static_cast<double>(event_counts[type])});
+  return artifact;
+}
+
+}  // namespace
+
+const Threshold& Thresholds::lookup(std::string_view metric) const {
+  // Leaf name: after the last '.', with any array suffix stripped.
+  const std::size_t dot = metric.rfind('.');
+  std::string_view leaf =
+      dot == std::string_view::npos ? metric : metric.substr(dot + 1);
+  const std::size_t bracket = leaf.find('[');
+  if (bracket != std::string_view::npos) leaf = leaf.substr(0, bracket);
+  for (const auto& [name, rule] : by_metric)
+    if (name == leaf) return rule;
+  return fallback;
+}
+
+Thresholds parse_thresholds(std::string_view text) {
+  const Value document = Parser(text, "thresholds").parse_document();
+  Thresholds thresholds;
+  const auto parse_rule = [](const Value& v, const std::string& key) {
+    if (!v.is_object()) util::json::error_at(v, "'" + key + "' must be an object");
+    Threshold rule;
+    for (const auto& [k, child] : std::get<Object>(v.value)) {
+      const double number = util::json::as_number(child, k);
+      if (number < 0.0)
+        util::json::error_at(child, "'" + k + "' must be non-negative");
+      if (k == "abs") {
+        rule.abs = number;
+      } else if (k == "rel") {
+        rule.rel = number;
+      } else {
+        util::json::error_at(child,
+                             "unknown threshold key '" + k + "' (want abs/rel)");
+      }
+    }
+    return rule;
+  };
+  for (const auto& [key, value] : std::get<Object>(document.value)) {
+    if (key == "default") {
+      thresholds.fallback = parse_rule(value, key);
+    } else if (key == "metrics") {
+      if (!value.is_object())
+        util::json::error_at(value, "'metrics' must be an object");
+      for (const auto& [name, rule] : std::get<Object>(value.value))
+        thresholds.by_metric.emplace_back(name, parse_rule(rule, name));
+    } else {
+      util::json::error_at(value, "unknown thresholds key '" + key +
+                                      "' (want default/metrics)");
+    }
+  }
+  return thresholds;
+}
+
+Artifact parse_artifact(std::string_view text, const char* label) {
+  // A trace is a JSONL stream whose first line is a header record; anything
+  // else is treated as one bench/CLI JSON object.
+  const std::size_t first_line_end = text.find('\n');
+  if (first_line_end != std::string_view::npos) {
+    const std::string_view first = text.substr(0, first_line_end);
+    if (first.find("\"kind\": \"header\"") != std::string_view::npos)
+      return parse_trace(text, label);
+  }
+  Artifact artifact;
+  artifact.kind = Artifact::Kind::Bench;
+  const Value document = Parser(text, label).parse_document();
+  flatten(document, "", artifact.metrics);
+  return artifact;
+}
+
+CompareReport compare(const Artifact& baseline, const Artifact& candidate,
+                      const Thresholds& thresholds) {
+  if (baseline.kind == Artifact::Kind::Trace &&
+      candidate.kind == Artifact::Kind::Trace &&
+      (baseline.schema != candidate.schema ||
+       baseline.version != candidate.version)) {
+    // Aligning fields whose meaning changed between schema versions would
+    // fabricate deltas — refuse in a way no caller can swallow.
+    std::fprintf(stderr,
+                 "hybrimoe_compare: trace schema mismatch (%s v%u vs %s v%u) — "
+                 "regenerate the baseline with this build\n",
+                 baseline.schema.c_str(), baseline.version,
+                 candidate.schema.c_str(), candidate.version);
+    std::abort();
+  }
+
+  std::unordered_map<std::string_view, const Metric*> base_by_name;
+  base_by_name.reserve(baseline.metrics.size());
+  for (const Metric& m : baseline.metrics) base_by_name.emplace(m.name, &m);
+
+  CompareReport report;
+  std::unordered_map<std::string_view, bool> seen;
+  seen.reserve(candidate.metrics.size());
+  for (const Metric& cand : candidate.metrics) {
+    seen.emplace(cand.name, true);
+    const auto it = base_by_name.find(cand.name);
+    if (it == base_by_name.end()) {
+      report.missing.push_back("candidate-only: " + cand.name);
+      continue;
+    }
+    const Metric& base = *it->second;
+    const Threshold& rule = thresholds.lookup(cand.name);
+    Delta d;
+    d.name = cand.name;
+    d.baseline = base.value;
+    d.candidate = cand.value;
+    d.delta = cand.value - base.value;
+    d.limit =
+        rule.abs + rule.rel * std::max(std::abs(base.value), std::abs(cand.value));
+    d.violated = std::abs(d.delta) > d.limit;
+    report.violations += d.violated ? 1 : 0;
+    report.deltas.push_back(std::move(d));
+  }
+  for (const Metric& base : baseline.metrics)
+    if (!seen.contains(base.name))
+      report.missing.push_back("baseline-only: " + base.name);
+  return report;
+}
+
+}  // namespace hybrimoe::trace

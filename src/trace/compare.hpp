@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file compare.hpp
+/// Artifact alignment and regression thresholds — the library behind
+/// tools/hybrimoe_compare. Two artifact shapes are understood:
+///
+///  * a JSONL trace (schema.hpp): header/step/event/summary lines. Steps
+///    flatten to `step[<index>].<field>` metrics (array fields additionally
+///    indexed), events to per-type counts, the summary to `summary.<field>`;
+///  * a bench / CLI JSON object (load_sweep, hybrimoe_run --json, ...):
+///    every numeric or boolean leaf flattens to its dotted path, with array
+///    elements indexed (`points[3].rate`).
+///
+/// compare() aligns two artifacts by metric name and applies a per-metric
+/// threshold: a delta is a violation when |candidate - baseline| exceeds
+/// abs + rel * max(|baseline|, |candidate|); metrics present on only one
+/// side are violations outright. Thresholds are keyed by the metric's *leaf*
+/// name (`latency_s` matches every `step[i].latency_s`), with a default rule
+/// of exact equality — regression gates opt metrics *into* slack, never out
+/// of scrutiny.
+///
+/// Comparing two traces with different schema versions aborts the process:
+/// cross-version field meanings differ, so any delta the comparator could
+/// report would be fabricated. Malformed artifacts raise
+/// std::invalid_argument with a position-stamped message instead.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hybrimoe::trace {
+
+/// One flattened numeric observation.
+struct Metric {
+  std::string name;
+  double value = 0.0;
+};
+
+/// A parsed artifact: its shape plus the flat metric list (insertion order).
+struct Artifact {
+  /// Trace = JSONL stream with a header line; Bench = one JSON object.
+  enum class Kind { Trace, Bench };
+  Kind kind = Kind::Bench;
+  std::string schema;          ///< trace header schema name ("" for bench)
+  std::uint32_t version = 0;   ///< trace header schema version (0 for bench)
+  std::vector<Metric> metrics;
+};
+
+/// Tolerance rule: violation when |delta| > abs + rel * max(|a|, |b|).
+struct Threshold {
+  double abs = 0.0;
+  double rel = 0.0;
+};
+
+/// Threshold table: per-leaf-name rules over a default of exact equality.
+struct Thresholds {
+  Threshold fallback{};
+  std::vector<std::pair<std::string, Threshold>> by_metric;
+
+  /// \brief The rule for a metric, matched by its leaf name (the segment
+  /// after the last '.', array suffix stripped).
+  [[nodiscard]] const Threshold& lookup(std::string_view metric) const;
+};
+
+/// \brief Parse a thresholds file ({"default": {...}, "metrics": {...}}).
+/// Throws std::invalid_argument on malformed input.
+[[nodiscard]] Thresholds parse_thresholds(std::string_view text);
+
+/// \brief Parse an artifact, autodetecting trace JSONL (first line is a
+/// `header` record) vs a single bench JSON object. `label` names the input
+/// in error messages. Throws std::invalid_argument on malformed input.
+[[nodiscard]] Artifact parse_artifact(std::string_view text, const char* label);
+
+/// One aligned metric's comparison outcome.
+struct Delta {
+  std::string name;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double delta = 0.0;   ///< candidate - baseline
+  double limit = 0.0;   ///< the threshold this delta was judged against
+  bool violated = false;
+};
+
+/// The comparator's verdict over two artifacts.
+struct CompareReport {
+  std::vector<Delta> deltas;          ///< every aligned metric, input order
+  std::vector<std::string> missing;   ///< metrics present on only one side
+  std::size_t violations = 0;         ///< violated deltas (missing excluded)
+
+  /// \brief True when nothing violated and nothing was missing.
+  [[nodiscard]] bool ok() const noexcept {
+    return violations == 0 && missing.empty();
+  }
+};
+
+/// \brief Align two artifacts by metric name and judge every delta against
+/// the thresholds. Aborts the process (after a diagnostic on stderr) when
+/// both artifacts are traces of different schema name or version.
+[[nodiscard]] CompareReport compare(const Artifact& baseline,
+                                    const Artifact& candidate,
+                                    const Thresholds& thresholds);
+
+}  // namespace hybrimoe::trace

@@ -1,0 +1,198 @@
+#include "trace/recorder.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "runtime/engine.hpp"
+#include "util/json_writer.hpp"
+
+namespace hybrimoe::trace {
+
+Recorder::Recorder(RecorderConfig config) : config_(std::move(config)) {
+  if (config_.sink == nullptr) return;
+  std::ostringstream os;
+  util::JsonWriter::Inline line(os);
+  line.field("kind").string("header");
+  line.field("schema").string(kSchemaName);
+  line.field("version").number(kSchemaVersion);
+  line.field("stack").string(config_.stack);
+  line.field("model").string(config_.model);
+  line.field("seed").number(config_.seed);
+  line.field("devices").number(config_.devices);
+  line.close();
+  config_.sink->write(os.str());
+}
+
+void Recorder::before_step(std::size_t step_index, double clock,
+                           runtime::OffloadEngine& engine) {
+  (void)step_index, (void)clock;
+  if (engine_ == &engine) return;
+  // First sight of the engine: baseline its cumulative cache counters so
+  // per-step deltas start at this run, not at whatever warmup left behind.
+  engine_ = &engine;
+  prev_device_cache_.assign(engine.num_devices(), {});
+  for (std::size_t a = 0; a < engine.num_devices(); ++a)
+    prev_device_cache_[a] = engine.device_cache(a).stats();
+}
+
+void Recorder::after_step(const runtime::StepInfo& info,
+                          const runtime::StageMetrics& steps) {
+  StepRecord r;
+  r.index = info.index;
+  r.start_clock = info.start_clock;
+  r.end_clock = info.end_clock;
+  r.latency = info.latency;
+  r.stage = info.stage;
+  r.prefill_tokens = info.prefill_tokens;
+  r.decode_tokens = info.decode_tokens;
+  r.active_requests = info.active_requests;
+  r.waiting_requests = info.waiting_requests;
+  r.waiting_by_tier = info.waiting_by_tier;
+  r.rejected_total = info.rejected_total;
+  r.preemptions_total = info.preemptions_total;
+  r.kv_used_bytes = info.kv_used_bytes;
+  r.kv_peak_bytes = info.kv_peak_bytes;
+  r.kv_evictions_total = info.kv_evictions_total;
+
+  // Device complement: the engine's counters are authoritative; the cost
+  // model covers hook configurations that observe before any step ran.
+  std::size_t n = steps.device_transfers.size();
+  if (n == 0 && config_.costs != nullptr) n = config_.costs->num_accelerators();
+  prev_transfers_.resize(n, 0);
+  r.transfers_to_device.resize(n, 0);
+  r.transferred_bytes.resize(n, 0.0);
+  r.link_busy_s.resize(n, 0.0);
+  r.device_available.resize(n, 1);
+  r.link_scale.resize(n, 1.0);
+  for (std::size_t a = 0; a < n; ++a) {
+    const std::size_t cumulative =
+        a < steps.device_transfers.size() ? steps.device_transfers[a] : 0;
+    r.transfers_to_device[a] = cumulative - prev_transfers_[a];
+    prev_transfers_[a] = cumulative;
+    const double moved = static_cast<double>(r.transfers_to_device[a]);
+    r.transferred_bytes[a] = moved * config_.expert_bytes;
+    if (config_.costs != nullptr && a < config_.costs->num_accelerators()) {
+      r.device_available[a] = config_.costs->accelerator_available(a) ? 1 : 0;
+      r.link_scale[a] = config_.costs->link_bandwidth_scale(a);
+      if (config_.costs->accelerator_available(a))
+        r.link_busy_s[a] = moved * config_.costs->transfer_time(a);
+    }
+  }
+
+  r.transfers = steps.transfers - prev_ondemand_;
+  r.prefetches = steps.prefetches - prev_prefetch_;
+  r.maintenance = steps.maintenance - prev_maintenance_;
+  prev_ondemand_ = steps.transfers;
+  prev_prefetch_ = steps.prefetches;
+  prev_maintenance_ = steps.maintenance;
+
+  r.cpu_busy_s = steps.cpu_busy - prev_cpu_;
+  r.gpu_busy_s = steps.gpu_busy - prev_gpu_;
+  r.pcie_busy_s = steps.pcie_busy - prev_pcie_;
+  prev_cpu_ = steps.cpu_busy;
+  prev_gpu_ = steps.gpu_busy;
+  prev_pcie_ = steps.pcie_busy;
+
+  // Cache counters live in the device caches (the engine merges them into
+  // the run metrics only at the end); transient prefill-buffer hits are the
+  // one part the serving core accumulates directly.
+  if (engine_ != nullptr) {
+    const std::size_t devices = engine_->num_devices();
+    r.device_cache_hits.resize(devices, 0);
+    r.device_cache_misses.resize(devices, 0);
+    r.device_cache_evictions.resize(devices, 0);
+    if (prev_device_cache_.size() < devices) prev_device_cache_.resize(devices);
+    for (std::size_t a = 0; a < devices; ++a) {
+      const cache::CacheStats now = engine_->device_cache(a).stats();
+      const cache::CacheStats& prev = prev_device_cache_[a];
+      r.device_cache_hits[a] = now.hits - prev.hits;
+      r.device_cache_misses[a] = now.misses - prev.misses;
+      r.device_cache_evictions[a] = now.evictions - prev.evictions;
+      r.cache_hits += now.hits - prev.hits;
+      r.cache_misses += now.misses - prev.misses;
+      r.cache_insertions += now.insertions - prev.insertions;
+      r.cache_evictions += now.evictions - prev.evictions;
+      prev_device_cache_[a] = now;
+    }
+  }
+  r.cache_hits += steps.cache.hits - prev_transient_hits_;
+  prev_transient_hits_ = steps.cache.hits;
+
+  timeline_.push_back(r);
+  if (config_.sink != nullptr) emit_step(r);
+}
+
+void Recorder::on_sim_event(const serve_sim::Event& event) {
+  events_.push_back(event);
+  if (config_.sink == nullptr) return;
+  std::ostringstream os;
+  util::JsonWriter::Inline line(os);
+  line.field("kind").string("event");
+  line.field("t_s").exact(event.time);
+  line.field("seq").number(event.seq);
+  line.field("type").string(serve_sim::to_string(event.kind));
+  line.field("request").number(event.request);
+  line.field("payload").number(event.payload);
+  line.close();
+  config_.sink->write(os.str());
+}
+
+void Recorder::emit_step(const StepRecord& r) {
+  std::ostringstream os;
+  util::JsonWriter::Inline line(os);
+  line.field("kind").string("step");
+  line.field("index").number(r.index);
+  line.field("start_s").exact(r.start_clock);
+  line.field("end_s").exact(r.end_clock);
+  line.field("latency_s").exact(r.latency);
+  line.field("stage").string(sched::to_string(r.stage));
+  line.field("prefill_tokens").number(r.prefill_tokens);
+  line.field("decode_tokens").number(r.decode_tokens);
+  line.field("active_requests").number(r.active_requests);
+  line.field("waiting_requests").number(r.waiting_requests);
+  line.field("waiting_by_tier").count_list(r.waiting_by_tier);
+  line.field("transfers").number(r.transfers);
+  line.field("prefetches").number(r.prefetches);
+  line.field("maintenance").number(r.maintenance);
+  line.field("transfers_to_device").count_list(r.transfers_to_device);
+  line.field("transferred_bytes").exact_list(r.transferred_bytes);
+  line.field("link_busy_s").exact_list(r.link_busy_s);
+  line.field("device_available").count_list(r.device_available);
+  line.field("link_scale").exact_list(r.link_scale);
+  line.field("cache_hits").number(r.cache_hits);
+  line.field("cache_misses").number(r.cache_misses);
+  line.field("cache_insertions").number(r.cache_insertions);
+  line.field("cache_evictions").number(r.cache_evictions);
+  line.field("device_cache_hits").count_list(r.device_cache_hits);
+  line.field("device_cache_misses").count_list(r.device_cache_misses);
+  line.field("device_cache_evictions").count_list(r.device_cache_evictions);
+  line.field("cpu_busy_s").exact(r.cpu_busy_s);
+  line.field("gpu_busy_s").exact(r.gpu_busy_s);
+  line.field("pcie_busy_s").exact(r.pcie_busy_s);
+  line.field("rejected_total").number(r.rejected_total);
+  line.field("preemptions_total").number(r.preemptions_total);
+  line.field("kv_used_bytes").exact(r.kv_used_bytes);
+  line.field("kv_peak_bytes").exact(r.kv_peak_bytes);
+  line.field("kv_evictions_total").number(r.kv_evictions_total);
+  line.close();
+  config_.sink->write(os.str());
+}
+
+void Recorder::write_summary(const runtime::ServeMetrics& metrics) {
+  if (config_.sink == nullptr) return;
+  std::ostringstream os;
+  util::JsonWriter::Inline line(os);
+  line.field("kind").string("summary");
+  line.field("steps").number(timeline_.size());
+  line.field("events").number(events_.size());
+  line.field("makespan_s").exact(metrics.makespan);
+  line.field("finished").number(metrics.finished_count());
+  line.field("rejected").number(metrics.rejected_count());
+  line.field("output_tokens").number(metrics.total_generated_tokens());
+  line.field("throughput_tok_s").exact(metrics.throughput());
+  line.field("cache_hit_rate").exact(metrics.steps.cache.hit_rate());
+  line.close();
+  config_.sink->write(os.str());
+}
+
+}  // namespace hybrimoe::trace

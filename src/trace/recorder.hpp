@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file recorder.hpp
+/// The trace::Recorder — a runtime::StepHook that turns the serving core's
+/// cumulative counters into per-step StepRecords and (optionally) streams
+/// them as JSONL through a TraceSink. One Recorder observes one run: it
+/// keeps the in-memory timeline the scenario invariant checkers consume and,
+/// when a sink is attached, writes the header line at construction, a `step`
+/// line per completed step, an `event` line per discrete-event pop and — via
+/// write_summary — a trailing `summary` line.
+///
+/// The Recorder is an observer: it never mutates the engine, the cost model
+/// or the step's routing, so a run with a Recorder installed produces
+/// value-identical metrics to the same run without one (installing any hook
+/// does switch the serving core off its single-part fast path, which copies
+/// the merged trace but does not change results). ScenarioDriver composes
+/// with it by delegation: fault injection stays in the driver, recording
+/// lives here.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/cost_model.hpp"
+#include "runtime/serve_engine.hpp"
+#include "serve_sim/event.hpp"
+#include "trace/schema.hpp"
+#include "trace/sink.hpp"
+
+namespace hybrimoe::trace {
+
+/// Recorder wiring: everything optional — a default-constructed config
+/// records an in-memory timeline only.
+struct RecorderConfig {
+  /// Cost model to snapshot device health / link scale / per-expert link
+  /// time from (e.g. &harness.costs()); null = devices assumed healthy.
+  const hw::CostModel* costs = nullptr;
+  /// Per-expert routed weight bytes (moe::ModelConfig::routed_expert_bytes)
+  /// for the transferred-bytes accounting; 0 = bytes reported as 0.
+  double expert_bytes = 0.0;
+  /// JSONL destination; null = in-memory timeline only.
+  TraceSink* sink = nullptr;
+  std::string stack;       ///< header: stack display name
+  std::string model;       ///< header: model name
+  std::uint64_t seed = 0;  ///< header: stream/trace seed
+  std::size_t devices = 0;  ///< header: accelerator count (0 = unknown)
+};
+
+/// Observation-only StepHook that records the shared trace stream.
+class Recorder final : public runtime::StepHook {
+ public:
+  /// \brief Bind the recorder to its config; writes the header line if a
+  /// sink is attached. Everything the config points at must outlive the
+  /// recorder.
+  explicit Recorder(RecorderConfig config = {});
+
+  /// Per-step timeline recorded so far (one entry per completed step).
+  [[nodiscard]] const std::vector<StepRecord>& timeline() const noexcept {
+    return timeline_;
+  }
+  /// Raw simulation events recorded so far, in (time, seq) pop order.
+  [[nodiscard]] const std::vector<serve_sim::Event>& events() const noexcept {
+    return events_;
+  }
+
+  /// \brief Remember the engine so after_step can read its cache counters.
+  void before_step(std::size_t step_index, double clock,
+                   runtime::OffloadEngine& engine) override;
+  /// \brief Roll the cumulative counters into a StepRecord; emit its line.
+  void after_step(const runtime::StepInfo& info,
+                  const runtime::StageMetrics& steps) override;
+  /// \brief Record the popped event; emit its line.
+  void on_sim_event(const serve_sim::Event& event) override;
+
+  /// \brief Emit the trailing `summary` line (no-op without a sink; the
+  /// in-memory timeline needs no closing record). Call after the run.
+  void write_summary(const runtime::ServeMetrics& metrics);
+
+ private:
+  void emit_step(const StepRecord& r);
+
+  RecorderConfig config_;
+  runtime::OffloadEngine* engine_ = nullptr;  ///< captured in before_step
+  std::vector<StepRecord> timeline_;
+  std::vector<serve_sim::Event> events_;
+  // Cumulative-counter snapshots as of the previous step, for deltas.
+  std::vector<std::size_t> prev_transfers_;
+  std::vector<cache::CacheStats> prev_device_cache_;
+  std::size_t prev_transient_hits_ = 0;
+  std::size_t prev_ondemand_ = 0, prev_prefetch_ = 0, prev_maintenance_ = 0;
+  double prev_cpu_ = 0.0, prev_gpu_ = 0.0, prev_pcie_ = 0.0;
+};
+
+}  // namespace hybrimoe::trace

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file schema.hpp
+/// The versioned per-step trace schema. A trace is a JSONL stream: one
+/// header line (schema name + version + run identity), one `step` line per
+/// composed serving step, one `event` line per discrete-event pop, and an
+/// optional trailing `summary` line. Field order is fixed and doubles are
+/// printed in shortest exact round-trip form, so a fixed-seed run emits a
+/// byte-identical trace every time — the determinism CI gate byte-diffs two
+/// fresh traces of the same smoke run.
+///
+/// StepRecord is the in-memory form of a `step` line. It is a superset of
+/// the timeline the scenario invariant checkers historically consumed (the
+/// old scenario::StepRecord struct is now an alias of this one): clocks and
+/// token counts from runtime::StepInfo, per-device transfer/health/link
+/// state, per-device cache counter deltas, busy-time deltas and serving
+/// state (queue depths per tier, admission rejections, preemptions, KV
+/// pressure). Delta fields cover exactly one step; `*_total` fields are
+/// cumulative over the run up to and including the step.
+///
+/// Bump kSchemaVersion whenever a field is added, removed, renamed or
+/// reordered — the comparator refuses (hard abort) to align traces across
+/// schema versions, because cross-version deltas would be fabricated.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sched/plan.hpp"
+#include "workload/request_stream.hpp"
+
+namespace hybrimoe::trace {
+
+/// Schema identifier written into every trace header line.
+inline constexpr const char* kSchemaName = "hybrimoe-trace";
+/// Schema version; bump on any step/event/header field change.
+inline constexpr std::uint32_t kSchemaVersion = 1;
+
+/// One recorded serving step — the in-memory form of a `step` JSONL line,
+/// appended by trace::Recorder::after_step.
+struct StepRecord {
+  std::size_t index = 0;        ///< engine step index (0-based)
+  double start_clock = 0.0;     ///< serving clock when the step began
+  double end_clock = 0.0;       ///< serving clock after the step's latency
+  double latency = 0.0;         ///< modeled step latency (seconds)
+  sched::Stage stage = sched::Stage::Prefill;  ///< dominant scheduling regime
+
+  std::size_t prefill_tokens = 0;   ///< prompt tokens processed this step
+  std::size_t decode_tokens = 0;    ///< decode tokens emitted this step
+  std::size_t active_requests = 0;  ///< batch size when the step ran
+  std::size_t waiting_requests = 0;  ///< surfaced, unadmitted when composed
+  /// Waiting requests per priority tier (workload::priority_index order).
+  std::array<std::size_t, workload::kNumPriorities> waiting_by_tier{};
+
+  /// Expert uploads targeting each accelerator *during this step* (delta of
+  /// the engine's cumulative per-device counters).
+  std::vector<std::size_t> transfers_to_device;
+  /// Bytes moved to each accelerator this step (transfers x per-expert
+  /// routed weight bytes; zeros when the recorder has no model binding).
+  std::vector<double> transferred_bytes;
+  /// Seconds each link spent busy on this step's uploads, at the link's
+  /// bandwidth while the step ran (transfers x current per-expert time).
+  std::vector<double> link_busy_s;
+  /// Device health while the step ran (after before_step's mutations).
+  std::vector<std::uint8_t> device_available;
+  /// Link bandwidth scale while the step ran.
+  std::vector<double> link_scale;
+
+  std::size_t transfers = 0;    ///< on-demand uploads this step (delta)
+  std::size_t prefetches = 0;   ///< speculative uploads this step (delta)
+  std::size_t maintenance = 0;  ///< maintenance admissions this step (delta)
+
+  std::size_t cache_hits = 0;        ///< lookup hits this step, all devices
+  std::size_t cache_misses = 0;      ///< lookup misses this step, all devices
+  std::size_t cache_insertions = 0;  ///< cache admissions this step
+  std::size_t cache_evictions = 0;   ///< cache evictions this step
+  /// Per-device cache counter deltas (topology order).
+  std::vector<std::size_t> device_cache_hits;
+  std::vector<std::size_t> device_cache_misses;
+  std::vector<std::size_t> device_cache_evictions;
+
+  double cpu_busy_s = 0.0;   ///< CPU expert-pool busy time this step
+  double gpu_busy_s = 0.0;   ///< accelerator compute busy time this step
+  double pcie_busy_s = 0.0;  ///< link busy time this step (all links)
+
+  std::size_t rejected_total = 0;     ///< cumulative admission rejections
+  std::size_t preemptions_total = 0;  ///< cumulative deferred prefill steps
+  double kv_used_bytes = 0.0;         ///< KV reservation when composed
+  double kv_peak_bytes = 0.0;         ///< KV high-water mark so far
+  std::size_t kv_evictions_total = 0;  ///< cumulative KV-pressure evictions
+};
+
+}  // namespace hybrimoe::trace

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file sink.hpp
+/// Where trace lines go. TraceSink is the one-method seam between the
+/// Recorder (which formats JSONL lines) and their destination: a stream for
+/// `hybrimoe_run --trace FILE`, an in-memory vector for tests. Sinks receive
+/// complete lines without the trailing newline and append it themselves, so
+/// a sink can also re-route lines (e.g. into a log) without reparsing.
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hybrimoe::trace {
+
+/// Destination for formatted trace lines (JSONL, one record per line).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// \brief Consume one complete record line (no trailing newline).
+  virtual void write(std::string_view line) = 0;
+};
+
+/// Streams every line to an ostream (file or stdout), newline-terminated.
+class OstreamSink final : public TraceSink {
+ public:
+  /// \brief Bind to the output stream (which must outlive the sink).
+  explicit OstreamSink(std::ostream& os) : os_(os) {}
+  /// \brief Append the line plus a newline.
+  void write(std::string_view line) override { os_ << line << '\n'; }
+
+ private:
+  std::ostream& os_;
+};
+
+/// Collects lines in memory — the test sink.
+class VectorSink final : public TraceSink {
+ public:
+  /// \brief Append the line to the collected vector.
+  void write(std::string_view line) override { lines_.emplace_back(line); }
+  /// \brief Every line written so far, in order.
+  [[nodiscard]] const std::vector<std::string>& lines() const noexcept {
+    return lines_;
+  }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+}  // namespace hybrimoe::trace

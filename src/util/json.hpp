@@ -2,8 +2,9 @@
 
 /// \file json.hpp
 /// The hand-rolled JSON subset shared by the declarative spec grammars
-/// (runtime::StackSpec, scenario::ScenarioSpec): objects, strings, numbers
-/// and booleans — no arrays, no null, no dependency. Every unsupported
+/// (runtime::StackSpec, scenario::ScenarioSpec) and the trace comparator:
+/// objects, arrays, strings, numbers and booleans — no null, no dependency.
+/// Every unsupported
 /// construct fails with a position-stamped error ("<context> error at offset
 /// N: ...") instead of parsing loosely, and every Value remembers where it
 /// started so key-level errors point at the offending source text.
@@ -39,11 +40,13 @@ namespace hybrimoe::util::json {
 struct Value;
 /// Insertion-ordered so error messages point at the offending source key.
 using Object = std::vector<std::pair<std::string, Value>>;
+/// Element-ordered, as written in the source text.
+using Array = std::vector<Value>;
 
 /// One parsed JSON value with its source position and the parsing context
 /// (the grammar name used in error messages).
 struct Value {
-  std::variant<std::string, double, bool, Object> value;
+  std::variant<std::string, double, bool, Object, Array> value;
   std::size_t offset = 0;      ///< where this value started, for error messages
   const char* context = "spec";  ///< grammar name for error(), set by Parser
 
@@ -51,6 +54,7 @@ struct Value {
     return std::holds_alternative<std::string>(value);
   }
   [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(value); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(value); }
 };
 
 /// Raise at a value's own position, in its own context.
@@ -103,11 +107,33 @@ class Parser {
     const std::size_t start = pos_;
     const char c = peek();
     if (c == '{') return {parse_object(), start, context_};
+    if (c == '[') return {parse_array(), start, context_};
     if (c == '"') return {parse_string(), start, context_};
     if (c == 't' || c == 'f') return {parse_bool(), start, context_};
     if (c == '-' || (c >= '0' && c <= '9')) return {parse_number(), start, context_};
     fail(pos_, std::string("unexpected character '") + c +
-                   "' (expected an object, string, number or boolean)");
+                   "' (expected an object, array, string, number or boolean)");
+  }
+
+  [[nodiscard]] Array parse_array() {
+    expect('[', "'['");
+    Array array;
+    skip_whitespace();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    while (true) {
+      array.push_back(parse_value());
+      skip_whitespace();
+      if (at_end()) fail(pos_, "unterminated array (missing ']')");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']', "',' or ']'");
+      return array;
+    }
   }
 
   [[nodiscard]] Object parse_object() {
@@ -222,6 +248,12 @@ class Parser {
   if (!std::holds_alternative<bool>(v.value))
     error_at(v, "'" + key + "' must be true or false");
   return std::get<bool>(v.value);
+}
+
+/// The value as an array; raises "'<key>' must be an array" otherwise.
+[[nodiscard]] inline const Array& as_array(const Value& v, const std::string& key) {
+  if (!v.is_array()) error_at(v, "'" + key + "' must be an array");
+  return std::get<Array>(v.value);
 }
 
 /// The value as a non-negative integer count.

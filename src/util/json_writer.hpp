@@ -1,0 +1,173 @@
+#pragma once
+
+/// \file json_writer.hpp
+/// The one JSON emission path shared by every machine-readable artifact the
+/// project writes: bench JSON files, `hybrimoe_run --json` summaries and the
+/// trace subsystem's JSONL records all go through these two writers, so
+/// escaping and float formatting cannot drift between them.
+///
+/// Two layouts, matching the repo's artifact conventions exactly:
+///  * JsonWriter — a pretty root object (one field per line at two-space
+///    indent) whose array fields hold one compact element per line at
+///    four-space indent. This is the bench/CLI artifact shape the golden
+///    regression tests byte-diff.
+///  * JsonWriter::Inline — a single-line compact object ({"k": v, ...}),
+///    used for array elements and for trace JSONL lines.
+///
+/// Number formatting is part of the contract:
+///  * number() streams with the caller's (default) ostream precision — six
+///    significant digits, the historical bench/CLI format the committed
+///    golden artifacts encode;
+///  * exact() prints util::json::format_number's shortest round-trip form,
+///    so trace records parse back to the exact double that was measured.
+
+#include <ostream>
+#include <string_view>
+#include <type_traits>
+
+#include "util/json.hpp"
+
+namespace hybrimoe::util {
+
+/// Streaming writer for the pretty artifact layout. Construction opens the
+/// root object; field() starts each root field; finish() closes the object
+/// with a trailing newline. The caller supplies values through the typed
+/// emitters (string/number/exact/boolean/raw) after each field() call.
+class JsonWriter {
+ public:
+  /// Compact single-line object writer: {"k": v, "k2": v2}. Construction
+  /// opens the object, close() (required) ends it. Also usable standalone
+  /// for trace JSONL lines.
+  class Inline {
+   public:
+    /// \brief Open a compact object on `os` (which must outlive the writer).
+    explicit Inline(std::ostream& os) : os_(os) { os_ << '{'; }
+
+    /// \brief Start the next field; ", " separates consecutive fields.
+    Inline& field(std::string_view key) {
+      os_ << (first_ ? "\"" : ", \"") << key << "\": ";
+      first_ = false;
+      return *this;
+    }
+    /// \brief Quoted + escaped string value.
+    Inline& string(std::string_view s) {
+      os_ << json::quote(s);
+      return *this;
+    }
+    /// \brief Double with the stream's (default six-digit) formatting.
+    Inline& number(double v) {
+      os_ << v;
+      return *this;
+    }
+    /// \brief Integer value (any integral type, bool excluded).
+    template <class T,
+              std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                               int> = 0>
+    Inline& number(T v) {
+      if constexpr (std::is_signed_v<T>)
+        os_ << static_cast<long long>(v);
+      else
+        os_ << static_cast<unsigned long long>(v);
+      return *this;
+    }
+    /// \brief Double in shortest exact round-trip form.
+    Inline& exact(double v) {
+      os_ << json::format_number(v);
+      return *this;
+    }
+    /// \brief true / false.
+    Inline& boolean(bool b) {
+      os_ << (b ? "true" : "false");
+      return *this;
+    }
+    /// \brief Pre-serialized JSON, embedded verbatim.
+    Inline& raw(std::string_view text) {
+      os_ << text;
+      return *this;
+    }
+    /// \brief Flat array of integers: [1, 0, 2].
+    template <class Range>
+    Inline& count_list(const Range& values) {
+      os_ << '[';
+      bool first = true;
+      for (const auto& v : values) {
+        os_ << (first ? "" : ", ") << static_cast<unsigned long long>(v);
+        first = false;
+      }
+      os_ << ']';
+      return *this;
+    }
+    /// \brief Flat array of doubles in exact round-trip form.
+    template <class Range>
+    Inline& exact_list(const Range& values) {
+      os_ << '[';
+      bool first = true;
+      for (const auto& v : values) {
+        os_ << (first ? "" : ", ") << json::format_number(static_cast<double>(v));
+        first = false;
+      }
+      os_ << ']';
+      return *this;
+    }
+    /// \brief Close the object. Must be called exactly once.
+    void close() { os_ << '}'; }
+
+   private:
+    std::ostream& os_;
+    bool first_ = true;
+  };
+
+  /// \brief Open the root object on `os` (which must outlive the writer).
+  explicit JsonWriter(std::ostream& os) : os_(os) { os_ << '{'; }
+
+  /// \brief Start the next root field on its own two-space-indented line.
+  JsonWriter& field(std::string_view key) {
+    os_ << (first_ ? "\n  \"" : ",\n  \"") << key << "\": ";
+    first_ = false;
+    return *this;
+  }
+  /// \brief Quoted + escaped string value.
+  void string(std::string_view s) { os_ << json::quote(s); }
+  /// \brief Double with the stream's (default six-digit) formatting.
+  void number(double v) { os_ << v; }
+  /// \brief Integer value (any integral type, bool excluded).
+  template <class T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  void number(T v) {
+    if constexpr (std::is_signed_v<T>)
+      os_ << static_cast<long long>(v);
+    else
+      os_ << static_cast<unsigned long long>(v);
+  }
+  /// \brief Double in shortest exact round-trip form.
+  void exact(double v) { os_ << json::format_number(v); }
+  /// \brief true / false.
+  void boolean(bool b) { os_ << (b ? "true" : "false"); }
+  /// \brief Pre-serialized JSON, embedded verbatim (e.g. a spec's to_json).
+  void raw(std::string_view text) { os_ << text; }
+
+  /// \brief Open an array value; fill it with row() elements.
+  void begin_array() {
+    os_ << '[';
+    rows_ = 0;
+  }
+  /// \brief Start the next four-space-indented array element and return a
+  /// compact object writer for it (close() it before the next row).
+  Inline row() {
+    os_ << (rows_++ == 0 ? "\n    " : ",\n    ");
+    return Inline(os_);
+  }
+  /// \brief Close the array; further root field() calls may follow.
+  void end_array() { os_ << "\n  ]"; }
+
+  /// \brief Close the root object with a trailing newline.
+  void finish() { os_ << "\n}\n"; }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace hybrimoe::util

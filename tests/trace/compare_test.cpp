@@ -1,0 +1,177 @@
+/// \file compare_test.cpp
+/// The comparator behind tools/hybrimoe_compare: artifact flattening (bench
+/// JSON and JSONL traces), leaf-name threshold matching, the exact-equality
+/// default, misalignment reporting, malformed-input errors, and the hard
+/// abort on cross-schema-version trace comparison.
+
+#include "trace/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hybrimoe::trace {
+namespace {
+
+constexpr const char* kBenchA = R"({
+  "bench": "demo",
+  "model": "Tiny",
+  "throughput_tok_s": 50,
+  "flag": true,
+  "points": [
+    {"rate": 1, "tbt_p99_s": 0.5},
+    {"rate": 2, "tbt_p99_s": 0.25}
+  ]
+}
+)";
+
+std::string make_trace(int version, double latency) {
+  std::string text =
+      "{\"kind\": \"header\", \"schema\": \"hybrimoe-trace\", \"version\": " +
+      std::to_string(version) +
+      ", \"stack\": \"HybriMoE\", \"model\": \"Tiny\", \"seed\": 7, "
+      "\"devices\": 1}\n";
+  text += "{\"kind\": \"event\", \"t_s\": 0.5, \"seq\": 0, \"type\": "
+          "\"arrival\", \"request\": 0, \"payload\": 0}\n";
+  text += "{\"kind\": \"event\", \"t_s\": 0.6, \"seq\": 1, \"type\": "
+          "\"arrival\", \"request\": 1, \"payload\": 0}\n";
+  text += "{\"kind\": \"step\", \"index\": 0, \"latency_s\": " +
+          std::to_string(latency) +
+          ", \"transfers_to_device\": [3], \"stage\": \"decode\"}\n";
+  text += "{\"kind\": \"summary\", \"steps\": 1, \"makespan_s\": 2.5}\n";
+  return text;
+}
+
+TEST(CompareTest, BenchFlattensToDottedAndIndexedPaths) {
+  const Artifact a = parse_artifact(kBenchA, "baseline");
+  EXPECT_EQ(a.kind, Artifact::Kind::Bench);
+  std::vector<std::string> names;
+  for (const Metric& m : a.metrics) names.push_back(m.name);
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "throughput_tok_s", "flag", "points[0].rate",
+                       "points[0].tbt_p99_s", "points[1].rate",
+                       "points[1].tbt_p99_s"}));
+  EXPECT_DOUBLE_EQ(a.metrics[1].value, 1.0);  // booleans compare as 0/1
+}
+
+TEST(CompareTest, IdenticalArtifactsPassUnderExactDefault) {
+  const Artifact a = parse_artifact(kBenchA, "baseline");
+  const Artifact b = parse_artifact(kBenchA, "candidate");
+  const CompareReport report = compare(a, b, Thresholds{});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.deltas.size(), 6u);
+  EXPECT_EQ(report.violations, 0u);
+}
+
+TEST(CompareTest, AnyDeltaViolatesTheExactDefault) {
+  std::string mutated = kBenchA;
+  mutated.replace(mutated.find("50"), 2, "51");
+  const Artifact a = parse_artifact(kBenchA, "baseline");
+  const Artifact b = parse_artifact(mutated, "candidate");
+  const CompareReport report = compare(a, b, Thresholds{});
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.violations, 1u);
+  const auto& d = report.deltas.front();
+  EXPECT_EQ(d.name, "throughput_tok_s");
+  EXPECT_TRUE(d.violated);
+  EXPECT_DOUBLE_EQ(d.delta, 1.0);
+  EXPECT_DOUBLE_EQ(d.limit, 0.0);
+}
+
+TEST(CompareTest, LeafNameThresholdGrantsSlackToEveryIndexedInstance) {
+  std::string mutated = kBenchA;
+  mutated.replace(mutated.find("0.25}"), 4, "0.26");
+  const Artifact a = parse_artifact(kBenchA, "baseline");
+  const Artifact b = parse_artifact(mutated, "candidate");
+  const Thresholds thresholds = parse_thresholds(
+      R"({"metrics": {"tbt_p99_s": {"abs": 0.02}}})");
+  EXPECT_TRUE(compare(a, b, thresholds).ok());
+  // The same delta without the rule is a violation.
+  EXPECT_EQ(compare(a, b, Thresholds{}).violations, 1u);
+}
+
+TEST(CompareTest, RelativeSlackScalesWithMagnitude) {
+  std::string mutated = kBenchA;
+  mutated.replace(mutated.find("50"), 2, "52");
+  const Artifact a = parse_artifact(kBenchA, "baseline");
+  const Artifact b = parse_artifact(mutated, "candidate");
+  EXPECT_TRUE(compare(a, b,
+                      parse_thresholds(
+                          R"({"metrics": {"throughput_tok_s": {"rel": 0.05}}})"))
+                  .ok());
+  EXPECT_FALSE(compare(a, b,
+                       parse_thresholds(
+                           R"({"metrics": {"throughput_tok_s": {"rel": 0.01}}})"))
+                   .ok());
+}
+
+TEST(CompareTest, DefaultRuleAppliesToUnnamedMetrics) {
+  std::string mutated = kBenchA;
+  mutated.replace(mutated.find("50"), 2, "51");
+  const Artifact a = parse_artifact(kBenchA, "baseline");
+  const Artifact b = parse_artifact(mutated, "candidate");
+  EXPECT_TRUE(
+      compare(a, b, parse_thresholds(R"({"default": {"abs": 2.0}})")).ok());
+}
+
+TEST(CompareTest, MissingMetricsAreMisalignments) {
+  constexpr const char* kSmaller = R"({"bench": "demo", "throughput_tok_s": 50}
+)";
+  const Artifact a = parse_artifact(kBenchA, "baseline");
+  const Artifact b = parse_artifact(kSmaller, "candidate");
+  const CompareReport report = compare(a, b, Thresholds{});
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.violations, 0u);  // the aligned metric matches
+  ASSERT_EQ(report.missing.size(), 5u);
+  EXPECT_EQ(report.missing.front(), "baseline-only: flag");
+}
+
+TEST(CompareTest, TraceFlattensHeaderStepsEventsAndSummary) {
+  const Artifact t = parse_artifact(make_trace(1, 0.125), "trace");
+  EXPECT_EQ(t.kind, Artifact::Kind::Trace);
+  EXPECT_EQ(t.schema, "hybrimoe-trace");
+  EXPECT_EQ(t.version, 1u);
+  auto value_of = [&](const std::string& name) -> double {
+    for (const Metric& m : t.metrics)
+      if (m.name == name) return m.value;
+    ADD_FAILURE() << "metric not found: " << name;
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(value_of("header.seed"), 7.0);
+  EXPECT_DOUBLE_EQ(value_of("step[0].latency_s"), 0.125);
+  EXPECT_DOUBLE_EQ(value_of("step[0].transfers_to_device[0]"), 3.0);
+  EXPECT_DOUBLE_EQ(value_of("summary.makespan_s"), 2.5);
+  EXPECT_DOUBLE_EQ(value_of("events.arrival"), 2.0);  // per-type count
+}
+
+TEST(CompareTest, IdenticalTracesPassAndPerturbedTracesFail) {
+  const Artifact a = parse_artifact(make_trace(1, 0.125), "baseline");
+  const Artifact b = parse_artifact(make_trace(1, 0.125), "candidate");
+  EXPECT_TRUE(compare(a, b, Thresholds{}).ok());
+  const Artifact c = parse_artifact(make_trace(1, 0.5), "candidate");
+  EXPECT_FALSE(compare(a, c, Thresholds{}).ok());
+}
+
+TEST(CompareDeathTest, SchemaVersionMismatchAborts) {
+  const Artifact a = parse_artifact(make_trace(1, 0.125), "baseline");
+  const Artifact b = parse_artifact(make_trace(2, 0.125), "candidate");
+  EXPECT_DEATH((void)compare(a, b, Thresholds{}), "trace schema mismatch");
+}
+
+TEST(CompareTest, MalformedInputsThrowPositionStampedErrors) {
+  EXPECT_THROW((void)parse_artifact("{\"open\": ", "baseline"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_artifact("{\"kind\": \"header\"}\n"
+                                    "{\"kind\": \"mystery\"}\n",
+                                    "trace"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_thresholds(R"({"metrics": {"x": {"abs": -1}}})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_thresholds(R"({"metrics": {"x": {"typo": 1}}})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_thresholds(R"({"bogus": {}})"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hybrimoe::trace

@@ -1,0 +1,104 @@
+/// \file json_writer_test.cpp
+/// util::JsonWriter is a byte-level contract: the pretty artifact layout the
+/// golden regression tests diff, the compact layout of trace JSONL lines,
+/// and the two number formats (legacy six-digit vs exact round-trip). These
+/// tests pin the exact bytes so refactoring an emitter onto the writer can
+/// never silently reflow a committed artifact.
+
+#include "util/json_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+#include <vector>
+
+namespace hybrimoe {
+namespace {
+
+TEST(JsonWriterTest, RootObjectLayoutMatchesArtifactConvention) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.field("tool").string("hybrimoe_run");
+  w.field("cache_ratio").number(0.25);
+  w.field("requests").number(std::size_t{12});
+  w.field("ok").boolean(true);
+  w.field("spec").raw("{\"scheduler\": \"hybrid\"}");
+  w.finish();
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"tool\": \"hybrimoe_run\",\n"
+            "  \"cache_ratio\": 0.25,\n"
+            "  \"requests\": 12,\n"
+            "  \"ok\": true,\n"
+            "  \"spec\": {\"scheduler\": \"hybrid\"}\n"
+            "}\n");
+}
+
+TEST(JsonWriterTest, ArrayRowsAreCompactObjectsOnePerLine) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.field("bench").string("demo");
+  w.field("points").begin_array();
+  for (int i = 0; i < 2; ++i) {
+    auto item = w.row();
+    item.field("rate").number(i + 1);
+    item.field("name").string(i == 0 ? "a" : "b");
+    item.close();
+  }
+  w.end_array();
+  w.finish();
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"bench\": \"demo\",\n"
+            "  \"points\": [\n"
+            "    {\"rate\": 1, \"name\": \"a\"},\n"
+            "    {\"rate\": 2, \"name\": \"b\"}\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(JsonWriterTest, EmptyArrayAndPostArrayFields) {
+  // exec_validation's shape: fields continue after the array closes.
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.field("runs").begin_array();
+  w.end_array();
+  w.field("digests_ok").boolean(false);
+  w.finish();
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"runs\": [\n"
+            "  ],\n"
+            "  \"digests_ok\": false\n"
+            "}\n");
+}
+
+TEST(JsonWriterTest, InlineObjectEscapesAndLists) {
+  std::ostringstream os;
+  util::JsonWriter::Inline line(os);
+  line.field("name").string("say \"hi\"\\");
+  line.field("counts").count_list(std::array<std::size_t, 3>{1, 0, 2});
+  line.field("scales").exact_list(std::vector<double>{1.0, 0.5});
+  line.close();
+  EXPECT_EQ(os.str(),
+            "{\"name\": \"say \\\"hi\\\"\\\\\", "
+            "\"counts\": [1, 0, 2], \"scales\": [1, 0.5]}");
+}
+
+TEST(JsonWriterTest, NumberFormatsAreDistinct) {
+  // number(): the historical ostream default (six significant digits).
+  // exact(): shortest form that round-trips the double bit for bit.
+  std::ostringstream os;
+  util::JsonWriter::Inline line(os);
+  line.field("legacy").number(0.123456789);
+  line.field("roundtrip").exact(0.123456789);
+  line.field("negative").number(-3);
+  line.close();
+  EXPECT_EQ(os.str(),
+            "{\"legacy\": 0.123457, \"roundtrip\": 0.123456789, "
+            "\"negative\": -3}");
+}
+
+}  // namespace
+}  // namespace hybrimoe

@@ -11,9 +11,10 @@
 #    are user-facing configuration; an undocumented knob is an unusable one),
 #    the discrete-event serving core (src/serve_sim/*.hpp — its event
 #    ordering and KV-accounting invariants are the bit-identity contract the
-#    equivalence tests pin down) plus the device-topology headers (src/hw/topology.hpp,
-#    src/sched/device.hpp — the vocabulary every layer of the stack now
-#    speaks).
+#    equivalence tests pin down), the trace subsystem (src/trace/*.hpp — its
+#    schema and comparator semantics are the regression-gate contract) plus
+#    the device-topology headers (src/hw/topology.hpp, src/sched/device.hpp —
+#    the vocabulary every layer of the stack now speaks).
 #
 # 2. Relative links. Every `[text](path)` link in docs/*.md, README.md and
 #    bench/README.md that is not an absolute URL or a pure fragment must
@@ -29,7 +30,7 @@ fail=0
 # ---------------------------------------------------------------------------
 # 1. Doc-comment coverage.
 # ---------------------------------------------------------------------------
-doc_headers="src/exec/*.hpp src/scenario/*.hpp src/serve_sim/*.hpp src/hw/topology.hpp src/sched/device.hpp"
+doc_headers="src/exec/*.hpp src/scenario/*.hpp src/serve_sim/*.hpp src/trace/*.hpp src/hw/topology.hpp src/sched/device.hpp"
 for header in $doc_headers; do
   out=$(awk '
     # Track public sections inside class bodies (structs default public).

@@ -24,6 +24,9 @@
 #include "runtime/session.hpp"
 #include "runtime/stack_registry.hpp"
 #include "scenario/drivers.hpp"
+#include "trace/recorder.hpp"
+#include "trace/sink.hpp"
+#include "util/json_writer.hpp"
 #include "util/table.hpp"
 #include "workload/request_stream.hpp"
 
@@ -73,6 +76,9 @@ options:
   --admission MODE      KV admission policy: queue | reject | evict
                         (default queue; requires KV accounting)
   --json PATH           write a machine-readable summary
+  --trace PATH          stream a per-step JSONL trace of the run (schema
+                        hybrimoe-trace v1; compare runs with
+                        hybrimoe_compare)
   --print-spec          echo the canonical spec JSON and exit
   --list-stacks         list presets and registered components, then exit
   --help                this text
@@ -117,6 +123,7 @@ struct Options {
   double kv_bytes_per_token = 0.0;
   std::string admission;  ///< "" = queue (only meaningful with KV accounting)
   std::string json_path;
+  std::string trace_path;
   bool print_spec = false;
 };
 
@@ -212,6 +219,8 @@ Options parse_options(int argc, char** argv) {
       opts.admission = next(i, "--admission");
     } else if (arg == "--json") {
       opts.json_path = next(i, "--json");
+    } else if (arg == "--trace") {
+      opts.trace_path = next(i, "--trace");
     } else if (arg == "--stack") {
       opts.stack_arg = next(i, "--stack");
       stack_set = true;
@@ -323,12 +332,42 @@ int main(int argc, char** argv) {
         stack.kv->bytes_per_token = opts.kv_bytes_per_token;
     }
 
+    // --trace: stream the run's per-step/per-event records as JSONL. The
+    // recorder is an observer, so traced and untraced runs report identical
+    // metrics; without --trace and without a scenario the hook stays null
+    // and the serving core keeps its bit-identical fast path.
+    std::ofstream trace_stream;
+    std::optional<trace::OstreamSink> trace_sink;
+    std::optional<trace::Recorder> recorder;
+    if (!opts.trace_path.empty()) {
+      trace_stream.open(opts.trace_path);
+      if (!trace_stream) {
+        std::cerr << "hybrimoe_run: cannot write '" << opts.trace_path << "'\n";
+        return 2;
+      }
+      trace_sink.emplace(trace_stream);
+      trace::RecorderConfig config;
+      config.costs = &harness.costs();
+      config.expert_bytes = static_cast<double>(spec.model.routed_expert_bytes());
+      config.sink = &*trace_sink;
+      config.stack = stack.display_name();
+      config.model = spec.model.name;
+      config.seed = opts.seed;
+      config.devices = spec.topology->num_accelerators();
+      recorder.emplace(std::move(config));
+    }
+
     // The scenario driver shares the harness's cost model with the engines
     // the harness builds, so its before_step mutations are seen by the run.
+    // With both a scenario and --trace, the driver delegates its recording
+    // to the streaming recorder — one hook, one trace.
     std::optional<scenario::ScenarioDriver> driver;
     if (stack.scenario.has_value()) {
-      driver.emplace(*stack.scenario, harness.mutable_costs());
+      driver.emplace(*stack.scenario, harness.mutable_costs(),
+                     recorder.has_value() ? &*recorder : nullptr);
       serve_options.hook = &*driver;
+    } else if (recorder.has_value()) {
+      serve_options.hook = &*recorder;
     }
 
     std::cout << "stack   : " << stack.display_name() << "\n"
@@ -387,46 +426,53 @@ int main(int argc, char** argv) {
             std::to_string(metrics.steps.maintenance));
     table.print(std::cout);
 
+    if (recorder.has_value()) {
+      recorder->write_summary(metrics);
+      std::cout << "\nWrote " << opts.trace_path << "\n";
+    }
+
     if (!opts.json_path.empty()) {
       std::ofstream json(opts.json_path);
       if (!json) {
         std::cerr << "hybrimoe_run: cannot write '" << opts.json_path << "'\n";
         return 2;
       }
-      json << "{\n  \"tool\": \"hybrimoe_run\",\n  \"stack\": "
-           << runtime::json_quote(stack.display_name())
-           << ",\n  \"spec\": " << runtime::to_json(stack)
-           << ",\n  \"model\": \"" << spec.model.name
-           << "\",\n  \"cache_ratio\": " << opts.cache_ratio
-           << ",\n  \"requests\": " << metrics.finished_count()
-           << ",\n  \"output_tokens\": " << metrics.total_generated_tokens()
-           << ",\n  \"makespan_s\": " << metrics.makespan
-           << ",\n  \"throughput_tok_s\": " << metrics.throughput()
-           << ",\n  \"goodput_tok_s\": " << metrics.goodput(opts.slo)
-           << ",\n  \"tbt_slo_s\": " << opts.slo
-           << ",\n  \"ttft_p50_s\": " << ttft.p50 << ",\n  \"ttft_p95_s\": "
-           << ttft.p95 << ",\n  \"ttft_p99_s\": " << ttft.p99
-           << ",\n  \"tbt_p50_s\": " << tbt.p50 << ",\n  \"tbt_p95_s\": " << tbt.p95
-           << ",\n  \"tbt_p99_s\": " << tbt.p99
-           << ",\n  \"cache_hit_rate\": " << metrics.steps.cache.hit_rate();
+      util::JsonWriter w(json);
+      w.field("tool").string("hybrimoe_run");
+      w.field("stack").string(stack.display_name());
+      w.field("spec").raw(runtime::to_json(stack));
+      w.field("model").string(spec.model.name);
+      w.field("cache_ratio").number(opts.cache_ratio);
+      w.field("requests").number(metrics.finished_count());
+      w.field("output_tokens").number(metrics.total_generated_tokens());
+      w.field("makespan_s").number(metrics.makespan);
+      w.field("throughput_tok_s").number(metrics.throughput());
+      w.field("goodput_tok_s").number(metrics.goodput(opts.slo));
+      w.field("tbt_slo_s").number(opts.slo);
+      w.field("ttft_p50_s").number(ttft.p50);
+      w.field("ttft_p95_s").number(ttft.p95);
+      w.field("ttft_p99_s").number(ttft.p99);
+      w.field("tbt_p50_s").number(tbt.p50);
+      w.field("tbt_p95_s").number(tbt.p95);
+      w.field("tbt_p99_s").number(tbt.p99);
+      w.field("cache_hit_rate").number(metrics.steps.cache.hit_rate());
       // New fields are gated so KV-free (and diurnal-free) artifacts stay
       // byte-identical to the pre-event-engine schema bench_priority_isolation
       // and the golden regression tests consume.
       if (stream.process == workload::ArrivalProcess::Diurnal) {
-        json << ",\n  \"arrival\": \"diurnal\""
-             << ",\n  \"diurnal_period_s\": " << stream.diurnal_period
-             << ",\n  \"diurnal_amplitude\": " << stream.diurnal_amplitude;
+        w.field("arrival").string("diurnal");
+        w.field("diurnal_period_s").number(stream.diurnal_period);
+        w.field("diurnal_amplitude").number(stream.diurnal_amplitude);
       }
       if (metrics.kv.budget_bytes > 0.0) {
-        json << ",\n  \"requests_rejected\": " << metrics.rejected_count()
-             << ",\n  \"kv_budget_mb\": " << metrics.kv.budget_bytes / 1e6
-             << ",\n  \"kv_peak_mb\": " << metrics.kv.peak_bytes / 1e6
-             << ",\n  \"kv_rejected\": " << metrics.kv.rejected
-             << ",\n  \"kv_evictions\": " << metrics.kv.evictions
-             << ",\n  \"admission\": \""
-             << serve_sim::to_string(stack.kv->mode) << "\"";
+        w.field("requests_rejected").number(metrics.rejected_count());
+        w.field("kv_budget_mb").number(metrics.kv.budget_bytes / 1e6);
+        w.field("kv_peak_mb").number(metrics.kv.peak_bytes / 1e6);
+        w.field("kv_rejected").number(metrics.kv.rejected);
+        w.field("kv_evictions").number(metrics.kv.evictions);
+        w.field("admission").string(serve_sim::to_string(stack.kv->mode));
       }
-      json << "\n}\n";
+      w.finish();
       std::cout << "\nWrote " << opts.json_path << "\n";
     }
   } catch (const std::exception& e) {
