@@ -62,7 +62,8 @@ struct HybridExecutor::LayerBoard {
 };
 
 HybridExecutor::HybridExecutor(ExecOptions options)
-    : options_(options), store_(options.d_model, options.d_ff, options.weight_seed) {
+    : options_(options), store_(options.d_model, options.d_ff, options.weight_seed,
+                                options.quantized_experts) {
   options_.validate();
 }
 
@@ -71,17 +72,21 @@ HybridExecutor::~HybridExecutor() = default;
 void HybridExecutor::ensure_started(std::size_t num_links, std::size_t num_lanes) {
   if (!pool_) pool_ = std::make_unique<ThreadPool>(options_.workers);
   while (copiers_.size() < num_links) {
-    copy_scratch_.push_back(std::make_unique<std::vector<float>>());
+    copy_scratch_.push_back(std::make_unique<std::vector<std::byte>>());
     copiers_.push_back(std::make_unique<CopyEngine>());
   }
   while (gpu_lanes_.size() < num_lanes)
     gpu_lanes_.push_back(std::make_unique<CopyEngine>());
 }
 
-void HybridExecutor::begin_step() {
+void HybridExecutor::begin_step(bool paced) {
   HYBRIMOE_REQUIRE(!in_step_, "begin_step while a step is already open");
   step_ = StepResult{};
   in_step_ = true;
+  // Safe plain write: no backend task of this step exists yet, and task
+  // submission (pool/copier queues) establishes the happens-before edge for
+  // every thread that later reads paced_.
+  paced_ = paced;
 }
 
 StepResult HybridExecutor::end_step() {
@@ -140,15 +145,16 @@ void HybridExecutor::pace_dense(double modeled_seconds) {
     slack_reduced_ = true;
   }
   const auto t0 = PaceClock::now();
-  sleep_until_paced(t0 + scaled_duration(modeled_seconds, options_.time_scale));
+  if (paced_)
+    sleep_until_paced(t0 + scaled_duration(modeled_seconds, options_.time_scale));
   step_.measured += std::chrono::duration<double>(PaceClock::now() - t0).count() /
-                    options_.time_scale;
+                    (paced_ ? options_.time_scale : 1.0);
 }
 
-void HybridExecutor::copy_blob(moe::ExpertId id, std::vector<float>& scratch) {
-  const kernels::ExpertWeights& w = store_.weights(id);
-  if (scratch.size() < w.blob_floats()) scratch.resize(w.blob_floats());
-  (void)w.copy_blob_to(scratch);
+void HybridExecutor::copy_blob(moe::ExpertId id, std::vector<std::byte>& scratch) {
+  const auto blob = store_.transfer_blob(id);
+  if (scratch.size() < blob.size()) scratch.resize(blob.size());
+  std::memcpy(scratch.data(), blob.data(), blob.size());
 }
 
 void HybridExecutor::run_cpu_chain(const std::shared_ptr<LayerBoard>& board,
@@ -161,13 +167,12 @@ void HybridExecutor::run_cpu_chain(const std::shared_ptr<LayerBoard>& board,
   std::exception_ptr error;
   if (board->compute) {
     try {
-      board->slots[task.idx] =
-          kernels::expert_forward(store_.weights(task.id), board->input);
+      board->slots[task.idx] = store_.forward(task.id, board->input);
     } catch (...) {
       error = std::current_exception();
     }
   }
-  sleep_until_paced(t0 + task.dur);
+  if (paced_) sleep_until_paced(t0 + task.dur);
   {
     std::lock_guard lock(board->m);
     board->done[task.idx] = 1;
@@ -213,7 +218,7 @@ LayerResult HybridExecutor::execute_layer_reference(const sched::LayerPlan& plan
   const auto input = store_.layer_input(plan.layer);
   std::vector<std::vector<float>> slots(plan.tasks.size());
   for (std::size_t i = 0; i < plan.tasks.size(); ++i)
-    slots[i] = kernels::expert_forward(store_.weights(plan.tasks[i].expert), input);
+    slots[i] = store_.forward(plan.tasks[i].expert, input);
   result.output = combine_and_digest(plan, slots);
   return result;
 }
@@ -227,7 +232,7 @@ void HybridExecutor::run_gpu_lane(const std::shared_ptr<LayerBoard>& board,
   // blocked on lanes_remaining; the error surfaces at the lane's
   // rethrow_pending_error (end_step).
   std::exception_ptr error;
-  {
+  if (paced_) {
     const auto t0 = PaceClock::now();
     sleep_until_paced(t0 + scaled_duration(dense_seconds, scale));
   }
@@ -239,13 +244,13 @@ void HybridExecutor::run_gpu_lane(const std::shared_ptr<LayerBoard>& board,
     const auto t0 = PaceClock::now();
     if (board->compute && !error) {
       try {
-        board->slots[i] =
-            kernels::expert_forward(store_.weights(tasks[i].expert), board->input);
+        board->slots[i] = store_.forward(tasks[i].expert, board->input);
       } catch (...) {
         error = std::current_exception();
       }
     }
-    sleep_until_paced(t0 + scaled_duration(tasks[i].end - tasks[i].start, scale));
+    if (paced_)
+      sleep_until_paced(t0 + scaled_duration(tasks[i].end - tasks[i].start, scale));
   }
   {
     std::lock_guard lock(board->m);
@@ -297,7 +302,7 @@ LayerResult HybridExecutor::execute_layer(const sched::LayerPlan& plan, double o
   // t = 0 is where the engine's per-layer latency charge ends, so nothing —
   // not even a transfer — may be issued earlier (the very term §V moves into
   // C++ kernels to shrink).
-  sleep_until_paced(layer_start + scaled_duration(overhead, scale));
+  if (paced_) sleep_until_paced(layer_start + scaled_duration(overhead, scale));
 
   // ---- Link lanes: each link's on-demand transfers in per-link plan order,
   // then the engine's speculative uploads routed to it. FIFO on each copy
@@ -327,7 +332,7 @@ LayerResult HybridExecutor::execute_layer(const sched::LayerPlan& plan, double o
                 error = std::current_exception();
               }
             }
-            sleep_until_paced(t0 + dur);
+            if (paced_) sleep_until_paced(t0 + dur);
             {
               std::lock_guard lock(board->m);
               board->done[idx] = 1;
@@ -343,7 +348,7 @@ LayerResult HybridExecutor::execute_layer(const sched::LayerPlan& plan, double o
         [this, id = c.id, dur, scratch = copy_scratch_[c.link].get()] {
           const auto t0 = PaceClock::now();
           if (options_.copy_weight_blobs) copy_blob(id, *scratch);
-          sleep_until_paced(t0 + dur);
+          if (paced_) sleep_until_paced(t0 + dur);
         });
   }
 
@@ -370,7 +375,7 @@ LayerResult HybridExecutor::execute_layer(const sched::LayerPlan& plan, double o
 
   // ---- Primary GPU lane (this thread): dense head, then accelerator 0's
   // routed experts in plan order, each gated on its transfer completion.
-  {
+  if (paced_) {
     const auto t0 = PaceClock::now();
     sleep_until_paced(t0 + scaled_duration(plan.gpu_offset, scale));
   }
@@ -381,9 +386,9 @@ LayerResult HybridExecutor::execute_layer(const sched::LayerPlan& plan, double o
     }
     const auto t0 = PaceClock::now();
     if (options_.compute_experts)
-      board->slots[i] = kernels::expert_forward(store_.weights(tasks[i].expert),
-                                                board->input);
-    sleep_until_paced(t0 + scaled_duration(tasks[i].end - tasks[i].start, scale));
+      board->slots[i] = store_.forward(tasks[i].expert, board->input);
+    if (paced_)
+      sleep_until_paced(t0 + scaled_duration(tasks[i].end - tasks[i].start, scale));
   }
 
   // ---- Barrier: the layer is done when every compute task has finished on
@@ -398,8 +403,10 @@ LayerResult HybridExecutor::execute_layer(const sched::LayerPlan& plan, double o
   pool_->rethrow_pending_error();
 
   LayerResult result;
-  result.measured =
-      std::chrono::duration<double>(PaceClock::now() - layer_start).count() / scale;
+  // Unpaced steps report raw wall seconds (there is no modeled time to
+  // rescale to — the window *is* the kernel/copy time).
+  result.measured = std::chrono::duration<double>(PaceClock::now() - layer_start).count() /
+                    (paced_ ? scale : 1.0);
   step_.measured += result.measured;
   ++step_.layers;
   if (options_.compute_experts) result.output = combine_and_digest(plan, board->slots);
@@ -413,14 +420,11 @@ double HybridExecutor::calibrate_time_scale(const hw::CostModel& costs, double s
   for (const auto& copier : copiers_) copier->drain();
 
   const moe::ExpertId probe{0, 0};
-  const auto& weights = store_.weights(probe);
   const auto input = store_.layer_input(0);
-  std::vector<float> probe_scratch;
+  std::vector<std::byte> probe_scratch;
   double real = 0.0;
   if (options_.compute_experts)
-    real = std::max(real, hw::time_callable([&] {
-      (void)kernels::expert_forward(weights, input);
-    }));
+    real = std::max(real, hw::time_callable([&] { (void)store_.forward(probe, input); }));
   if (options_.copy_weight_blobs)
     real = std::max(real, hw::time_callable([&] { copy_blob(probe, probe_scratch); }));
   // Sleep overshoot: how late a paced task typically wakes.

@@ -13,15 +13,18 @@
 /// the executed plans actually carry, so single-accelerator engines spawn
 /// exactly the threads they did under the CPU+GPU pair model.
 ///
-/// Every expert task runs a real kernels::expert_forward at the store's
-/// functional dimensions, then paces itself to the scaled modeled duration
-/// (calibrated sleep), so wall-clock measurements validate the *concurrency
-/// structure* the scheduler claims — whether CPU compute, GPU compute and
-/// PCIe transfers genuinely overlap in real time (paper §V moves task
-/// allocation into C++ for exactly this) — while remaining robust on small
-/// CI hosts. Layer outputs are reduced in a fixed deterministic order, so
-/// threaded execution is bitwise-identical to the single-threaded reference
-/// at any worker count.
+/// Every expert task runs a real expert forward pass at the store's
+/// functional dimensions (SIMD-dispatched, fp32 or Q4), then — in a paced
+/// step — sleeps to the scaled modeled duration (calibrated sleep), so
+/// wall-clock measurements validate the *concurrency structure* the
+/// scheduler claims — whether CPU compute, GPU compute and PCIe transfers
+/// genuinely overlap in real time (paper §V moves task allocation into C++
+/// for exactly this) — while remaining robust on small CI hosts. An unpaced
+/// step (ExecutionMode::Performance) keeps the identical lowering and
+/// dependency structure but drops every sleep, so the measured window is
+/// real kernel/copy time. Layer outputs are reduced in a fixed
+/// deterministic order, so threaded execution is bitwise-identical to the
+/// single-threaded reference at any worker count, paced or not.
 ///
 /// Thread-safety: one executor drives one engine thread at a time —
 /// begin_step / execute_layer / pace_dense / end_step must be called from a
@@ -30,6 +33,7 @@
 /// thread; the ExpertStore is internally synchronized. Sharing one executor
 /// across engines is fine as long as their steps do not interleave.
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -45,13 +49,24 @@ namespace hybrimoe::exec {
 
 /// Which backend an OffloadEngine runs its plans through.
 enum class ExecutionMode : std::uint8_t {
-  Simulated,  ///< discrete-event only: plans are charged, never executed
-  Threaded,   ///< plans are lowered to real tasks on real threads
+  Simulated,    ///< discrete-event only: plans are charged, never executed
+  Threaded,     ///< plans are lowered to real tasks on real threads, paced
+                ///< to the scaled modeled durations
+  Performance,  ///< same lowering as Threaded with pacing dropped: every
+                ///< task runs flat out, wall clock is real kernel time
 };
 
 /// Printable name of an execution mode.
 [[nodiscard]] constexpr const char* to_string(ExecutionMode m) noexcept {
-  return m == ExecutionMode::Simulated ? "simulated" : "threaded";
+  switch (m) {
+    case ExecutionMode::Threaded:
+      return "threaded";
+    case ExecutionMode::Performance:
+      return "performance";
+    case ExecutionMode::Simulated:
+    default:
+      return "simulated";
+  }
 }
 
 /// Tuning knobs of the threaded backend.
@@ -68,6 +83,10 @@ struct ExecOptions {
   /// memcpy the expert's weight blob into the device staging buffer on every
   /// transfer (real PCIe traffic stand-in). Pacing applies either way.
   bool copy_weight_blobs = true;
+  /// Run experts at Q4 precision: quantized kernels on the hot path and Q4
+  /// transfer blobs (~6x smaller than fp32 at the default geometry).
+  /// Outputs/digests stay deterministic but differ from fp32 runs.
+  bool quantized_experts = false;
   /// Functional expert geometry (decoupled from the cost model's Table II
   /// shapes: scheduling charges the paper's sizes, kernels run small).
   std::size_t d_model = 32;
@@ -135,9 +154,11 @@ class HybridExecutor {
   /// The deterministic weight/input store (internally synchronized).
   [[nodiscard]] ExpertStore& store() noexcept { return store_; }
 
-  /// Start a step: resets the step accumulator. Engine thread only; steps
-  /// must not nest.
-  void begin_step();
+  /// Start a step: resets the step accumulator. `paced` selects whether this
+  /// step's tasks sleep to their scaled modeled durations (Threaded) or run
+  /// flat out (Performance; `measured` then reports raw wall seconds).
+  /// Engine thread only; steps must not nest.
+  void begin_step(bool paced = true);
 
   /// Execute one layer plan for real: dispatches each link's transfers to
   /// that link's copy thread (in per-link transfer_order, followed by the
@@ -206,16 +227,18 @@ class HybridExecutor {
   /// dedicated thread: dense head, then its tasks gated on their transfers.
   void run_gpu_lane(const std::shared_ptr<LayerBoard>& board,
                     std::vector<std::size_t> order, double dense_seconds);
-  /// memcpy one expert's weight blob into `scratch` (one buffer per link).
-  void copy_blob(moe::ExpertId id, std::vector<float>& scratch);
+  /// memcpy one expert's serialized transfer blob (fp32 or Q4, pre-built in
+  /// the store's arena) into `scratch` (one reusable buffer per link).
+  void copy_blob(moe::ExpertId id, std::vector<std::byte>& scratch);
   /// Deterministic load-weighted reduction of per-task outputs, then digest.
   [[nodiscard]] std::vector<float> combine_and_digest(
       const sched::LayerPlan& plan, std::vector<std::vector<float>>& slots);
 
   ExecOptions options_;
   ExpertStore store_;
-  /// Per-link device staging buffers; entry i is touched by copier i only.
-  std::vector<std::unique_ptr<std::vector<float>>> copy_scratch_;
+  /// Per-link device staging buffers (reused across every transfer of a
+  /// link's lifetime); entry i is touched by copier i only.
+  std::vector<std::unique_ptr<std::vector<std::byte>>> copy_scratch_;
   // Declaration order is load-bearing: the copy/lane threads and worker pool
   // are destroyed (joined) before the store/scratch their tasks reference.
   std::unique_ptr<ThreadPool> pool_;
@@ -223,6 +246,7 @@ class HybridExecutor {
   std::vector<std::unique_ptr<CopyEngine>> gpu_lanes_; ///< accel 1.. lanes
   StepResult step_;
   bool in_step_ = false;
+  bool paced_ = true;           ///< current step paces tasks (set by begin_step)
   bool slack_reduced_ = false;  ///< engine-thread timer slack tightened
 };
 

@@ -1,5 +1,7 @@
 #include "exec/expert_store.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <mutex>
 
 #include "util/assert.hpp"
@@ -13,15 +15,40 @@ namespace {
 constexpr std::uint64_t kWeightSalt = 0x57E1'6877'B10B'5EEDULL;
 constexpr std::uint64_t kInputSalt = 0x1A7E'17F0'0D5A'17EDULL;
 
+/// Q4 payload bytes of one [rows x cols] matrix (rows padded to whole blocks).
+std::size_t q4_matrix_bytes(std::size_t rows, std::size_t cols) noexcept {
+  const std::size_t blocks_per_row =
+      (cols + kernels::Q4Block::kValues - 1) / kernels::Q4Block::kValues;
+  return rows * blocks_per_row * sizeof(kernels::Q4Block);
+}
+
 }  // namespace
 
-ExpertStore::ExpertStore(std::size_t d_model, std::size_t d_ff, std::uint64_t seed)
-    : d_model_(d_model), d_ff_(d_ff), seed_(seed) {
+std::span<std::byte> ExpertStore::BlobArena::allocate(std::size_t bytes) {
+  used_ = (used_ + 63) & ~static_cast<std::size_t>(63);
+  if (used_ + bytes > capacity_) {
+    const std::size_t chunk = std::max<std::size_t>(kChunkBytes, bytes);
+    chunks_.push_back(std::make_unique<std::byte[]>(chunk));
+    used_ = 0;
+    capacity_ = chunk;
+  }
+  std::byte* base = chunks_.back().get() + used_;
+  used_ += bytes;
+  return {base, bytes};
+}
+
+ExpertStore::ExpertStore(std::size_t d_model, std::size_t d_ff, std::uint64_t seed,
+                         bool quantized)
+    : d_model_(d_model), d_ff_(d_ff), seed_(seed), quantized_(quantized) {
   HYBRIMOE_REQUIRE(d_model > 0 && d_ff > 0, "expert store dimensions must be positive");
 }
 
-const kernels::ExpertWeights& ExpertStore::weights(moe::ExpertId id) {
-  const std::uint32_t key = id.encode();
+std::size_t ExpertStore::expert_bytes() const noexcept {
+  if (!quantized_) return 3 * d_model_ * d_ff_ * sizeof(float);
+  return 2 * q4_matrix_bytes(d_ff_, d_model_) + q4_matrix_bytes(d_model_, d_ff_);
+}
+
+const ExpertStore::Entry& ExpertStore::entry(std::uint32_t key) {
   {
     std::shared_lock lock(mutex_);
     const auto it = experts_.find(key);
@@ -30,9 +57,42 @@ const kernels::ExpertWeights& ExpertStore::weights(moe::ExpertId id) {
   std::unique_lock lock(mutex_);
   const auto it = experts_.find(key);  // re-check: another thread may have won
   if (it != experts_.end()) return it->second;
+
   util::Rng rng(seed_ ^ kWeightSalt ^ (static_cast<std::uint64_t>(key) << 16));
-  return experts_.emplace(key, kernels::ExpertWeights::random(rng, d_model_, d_ff_))
-      .first->second;
+  Entry e;
+  e.weights = kernels::ExpertWeights::random(rng, d_model_, d_ff_);
+  const auto blob = arena_.allocate(expert_bytes());
+  if (quantized_) {
+    e.q4 = kernels::QuantizedExpert(e.weights);
+    std::byte* out = blob.data();
+    for (const kernels::QuantizedMatrix* m : {&e.q4.gate(), &e.q4.up(), &e.q4.down()}) {
+      const auto blocks = m->blocks();
+      const std::size_t bytes = blocks.size() * sizeof(kernels::Q4Block);
+      std::memcpy(out, blocks.data(), bytes);
+      out += bytes;
+    }
+  } else {
+    const std::span<float> dst{reinterpret_cast<float*>(blob.data()),
+                               blob.size() / sizeof(float)};
+    e.weights.copy_blob_to(dst);
+  }
+  e.blob = blob;
+  return experts_.emplace(key, std::move(e)).first->second;
+}
+
+const kernels::ExpertWeights& ExpertStore::weights(moe::ExpertId id) {
+  return entry(id.encode()).weights;
+}
+
+std::span<const std::byte> ExpertStore::transfer_blob(moe::ExpertId id) {
+  return entry(id.encode()).blob;
+}
+
+std::vector<float> ExpertStore::forward(moe::ExpertId id, std::span<const float> x) {
+  const Entry& e = entry(id.encode());
+  thread_local kernels::ForwardScratch scratch;
+  return quantized_ ? e.q4.forward(x, scratch)
+                    : kernels::expert_forward(e.weights, x, scratch);
 }
 
 std::span<const float> ExpertStore::layer_input(std::uint16_t layer) {

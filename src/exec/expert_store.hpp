@@ -10,13 +10,22 @@
 /// decoupled from the cost model's: scheduling charges the paper's Table II
 /// shapes while kernels run at small dimensions that finish in microseconds.
 ///
+/// A store can run experts at fp32 (default) or Q4 precision. In either
+/// case the per-expert transfer payload — the bytes a CopyEngine ships per
+/// simulated PCIe transfer — is serialized once into an arena owned by the
+/// store, so the step loop never allocates for weights; Q4 payloads are
+/// ~6x smaller than fp32 at the default geometry.
+///
 /// Thread-safety: fully internally synchronized (shared_mutex). Lookups
 /// take a shared lock; first touch of an expert materializes it under the
 /// exclusive lock. Returned references/spans stay valid and immutable for
-/// the store's lifetime (node-based map, weights never mutated after
-/// creation), so workers may read them lock-free after the accessor returns.
+/// the store's lifetime (node-based map, arena chunks never move, weights
+/// never mutated after creation), so workers may read them lock-free after
+/// the accessor returns.
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <shared_mutex>
 #include <span>
 #include <unordered_map>
@@ -31,22 +40,34 @@ namespace hybrimoe::exec {
 class ExpertStore {
  public:
   /// `d_model`/`d_ff`: functional expert geometry (both > 0); `seed` drives
-  /// every weight and input value.
-  ExpertStore(std::size_t d_model, std::size_t d_ff, std::uint64_t seed);
+  /// every weight and input value; `quantized` selects Q4 expert math and
+  /// Q4 transfer blobs (weights are generated at fp32 first, so the dense
+  /// weights are bitwise-identical across precisions for a given seed).
+  ExpertStore(std::size_t d_model, std::size_t d_ff, std::uint64_t seed,
+              bool quantized = false);
 
   /// \brief Functional d_model of every stored expert.
   [[nodiscard]] std::size_t d_model() const noexcept { return d_model_; }
   /// \brief Functional d_ff of every stored expert.
   [[nodiscard]] std::size_t d_ff() const noexcept { return d_ff_; }
-  /// fp32 bytes of one expert's three projection matrices (the blob the
-  /// copy engine moves per transfer).
-  [[nodiscard]] std::size_t expert_bytes() const noexcept {
-    return 3 * d_model_ * d_ff_ * sizeof(float);
-  }
+  /// \brief True when experts run (and ship) at Q4 precision.
+  [[nodiscard]] bool quantized() const noexcept { return quantized_; }
+  /// Bytes of one expert's transfer blob (the payload the copy engine moves
+  /// per transfer): the three fp32 projection matrices, or their Q4 blocks
+  /// when the store is quantized.
+  [[nodiscard]] std::size_t expert_bytes() const noexcept;
 
-  /// Weights of `id`, materializing them on first touch. Thread-safe; the
-  /// returned reference is stable and immutable.
+  /// Dense weights of `id`, materializing the expert on first touch.
+  /// Thread-safe; the returned reference is stable and immutable.
   [[nodiscard]] const kernels::ExpertWeights& weights(moe::ExpertId id);
+
+  /// Serialized transfer payload of `id` (size expert_bytes()), arena-backed
+  /// and materialized on first touch. Thread-safe; stable and immutable.
+  [[nodiscard]] std::span<const std::byte> transfer_blob(moe::ExpertId id);
+
+  /// Forward pass of expert `id` on `x` at the store's precision, reusing
+  /// per-thread scratch for intermediates. Thread-safe.
+  [[nodiscard]] std::vector<float> forward(moe::ExpertId id, std::span<const float> x);
 
   /// Deterministic activation vector fed to every expert of `layer`
   /// (size d_model). Thread-safe; the returned span is stable and immutable.
@@ -56,11 +77,39 @@ class ExpertStore {
   [[nodiscard]] std::size_t materialized() const;
 
  private:
+  /// Chunked bump allocator for transfer blobs: stable addresses, one
+  /// allocation per ~1 MiB of weights instead of one per expert touch.
+  class BlobArena {
+   public:
+    /// Carve `bytes` (64-byte aligned start) out of the current chunk,
+    /// growing by a new chunk when it does not fit. Addresses never move.
+    [[nodiscard]] std::span<std::byte> allocate(std::size_t bytes);
+
+   private:
+    static constexpr std::size_t kChunkBytes = 1 << 20;
+    std::vector<std::unique_ptr<std::byte[]>> chunks_;
+    std::size_t used_ = 0;
+    std::size_t capacity_ = 0;
+  };
+
+  /// One materialized expert: dense weights, the Q4 form when quantized,
+  /// and the serialized arena-backed transfer payload.
+  struct Entry {
+    kernels::ExpertWeights weights;
+    kernels::QuantizedExpert q4;
+    std::span<const std::byte> blob;
+  };
+
+  /// Materialize-on-first-touch lookup shared by the public accessors.
+  [[nodiscard]] const Entry& entry(std::uint32_t key);
+
   std::size_t d_model_;
   std::size_t d_ff_;
   std::uint64_t seed_;
+  bool quantized_;
   mutable std::shared_mutex mutex_;
-  std::unordered_map<std::uint32_t, kernels::ExpertWeights> experts_;
+  BlobArena arena_;
+  std::unordered_map<std::uint32_t, Entry> experts_;
   std::unordered_map<std::uint16_t, std::vector<float>> inputs_;
 };
 

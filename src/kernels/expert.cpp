@@ -26,12 +26,22 @@ std::size_t ExpertWeights::copy_blob_to(std::span<float> dst) const {
 }
 
 std::vector<float> expert_forward(const ExpertWeights& w, std::span<const float> x) {
+  ForwardScratch scratch;
+  return expert_forward(w, x, scratch);
+}
+
+std::vector<float> expert_forward(const ExpertWeights& w, std::span<const float> x,
+                                  ForwardScratch& scratch) {
   HYBRIMOE_REQUIRE(x.size() == w.d_model(), "expert_forward dimension mismatch");
-  const auto gate = gemv(w.gate, x);
-  const auto up = gemv(w.up, x);
-  std::vector<float> hidden(gate.size());
-  swiglu_combine(gate, up, hidden);
-  return gemv(w.down, hidden);
+  scratch.gate.resize(w.d_ff());
+  scratch.up.resize(w.d_ff());
+  scratch.hidden.resize(w.d_ff());
+  gemv_into(w.gate, x, scratch.gate);
+  gemv_into(w.up, x, scratch.up);
+  swiglu_combine(scratch.gate, scratch.up, scratch.hidden);
+  std::vector<float> out(w.d_model());
+  gemv_into(w.down, scratch.hidden, out);
+  return out;
 }
 
 QuantizedExpert::QuantizedExpert(const ExpertWeights& dense)
@@ -40,12 +50,22 @@ QuantizedExpert::QuantizedExpert(const ExpertWeights& dense)
       down_(QuantizedMatrix::quantize(dense.down)) {}
 
 std::vector<float> QuantizedExpert::forward(std::span<const float> x) const {
+  ForwardScratch scratch;
+  return forward(x, scratch);
+}
+
+std::vector<float> QuantizedExpert::forward(std::span<const float> x,
+                                            ForwardScratch& scratch) const {
   HYBRIMOE_REQUIRE(x.size() == d_model(), "QuantizedExpert::forward dimension mismatch");
-  const auto gate = gate_.gemv(x);
-  const auto up = up_.gemv(x);
-  std::vector<float> hidden(gate.size());
-  swiglu_combine(gate, up, hidden);
-  return down_.gemv(hidden);
+  scratch.gate.resize(d_ff());
+  scratch.up.resize(d_ff());
+  scratch.hidden.resize(d_ff());
+  gate_.gemv_into(x, scratch.gate);
+  up_.gemv_into(x, scratch.up);
+  swiglu_combine(scratch.gate, scratch.up, scratch.hidden);
+  std::vector<float> out(d_model());
+  down_.gemv_into(scratch.hidden, out);
+  return out;
 }
 
 }  // namespace hybrimoe::kernels

@@ -47,9 +47,23 @@ struct ExpertWeights {
   std::size_t copy_blob_to(std::span<float> dst) const;
 };
 
+/// Reusable intermediate buffers for expert forward passes. A caller that
+/// keeps one scratch per worker thread takes the gate/up/hidden allocations
+/// off the per-token loop; results are identical to the allocating forms.
+struct ForwardScratch {
+  std::vector<float> gate;
+  std::vector<float> up;
+  std::vector<float> hidden;
+};
+
 /// Forward pass through a dense expert.
 [[nodiscard]] std::vector<float> expert_forward(const ExpertWeights& w,
                                                 std::span<const float> x);
+
+/// Forward pass through a dense expert reusing `scratch` for intermediates.
+[[nodiscard]] std::vector<float> expert_forward(const ExpertWeights& w,
+                                                std::span<const float> x,
+                                                ForwardScratch& scratch);
 
 /// Q4-quantized expert: same forward contract, ~8x smaller weights.
 class QuantizedExpert {
@@ -59,11 +73,22 @@ class QuantizedExpert {
 
   [[nodiscard]] std::vector<float> forward(std::span<const float> x) const;
 
+  /// Forward pass reusing `scratch` for intermediates.
+  [[nodiscard]] std::vector<float> forward(std::span<const float> x,
+                                           ForwardScratch& scratch) const;
+
   [[nodiscard]] std::size_t storage_bytes() const noexcept {
     return gate_.storage_bytes() + up_.storage_bytes() + down_.storage_bytes();
   }
   [[nodiscard]] std::size_t d_model() const noexcept { return gate_.cols(); }
   [[nodiscard]] std::size_t d_ff() const noexcept { return gate_.rows(); }
+
+  /// Quantized gate projection [d_ff x d_model].
+  [[nodiscard]] const QuantizedMatrix& gate() const noexcept { return gate_; }
+  /// Quantized up projection [d_ff x d_model].
+  [[nodiscard]] const QuantizedMatrix& up() const noexcept { return up_; }
+  /// Quantized down projection [d_model x d_ff].
+  [[nodiscard]] const QuantizedMatrix& down() const noexcept { return down_; }
 
  private:
   QuantizedMatrix gate_;

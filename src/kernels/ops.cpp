@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "kernels/simd.hpp"
+
 namespace hybrimoe::kernels {
 
 Tensor Tensor::randn(util::Rng& rng, std::size_t rows, std::size_t cols, double stddev) {
@@ -15,15 +17,18 @@ Tensor Tensor::randn(util::Rng& rng, std::size_t rows, std::size_t cols, double 
 }
 
 std::vector<float> gemv(const Tensor& w, std::span<const float> x) {
-  HYBRIMOE_REQUIRE(w.cols() == x.size(), "gemv dimension mismatch");
   std::vector<float> y(w.rows(), 0.0f);
-  for (std::size_t r = 0; r < w.rows(); ++r) {
-    const auto row = w.row(r);
-    double acc = 0.0;  // accumulate in double for reproducible small-scale math
-    for (std::size_t c = 0; c < row.size(); ++c) acc += static_cast<double>(row[c]) * x[c];
-    y[r] = static_cast<float>(acc);
-  }
+  gemv_into(w, x, y);
   return y;
+}
+
+void gemv_into(const Tensor& w, std::span<const float> x, std::span<float> y) {
+  HYBRIMOE_REQUIRE(w.cols() == x.size(), "gemv dimension mismatch");
+  HYBRIMOE_REQUIRE(w.rows() == y.size(), "gemv output dimension mismatch");
+  // Rows accumulate in double for reproducible small-scale math; simd::dot
+  // keeps that contract in both its scalar and vector variants.
+  for (std::size_t r = 0; r < w.rows(); ++r)
+    y[r] = static_cast<float>(simd::dot(w.row(r), x));
 }
 
 Tensor gemm(const Tensor& a, const Tensor& b) {
@@ -87,27 +92,18 @@ std::vector<std::uint32_t> topk_indices(std::span<const float> values, std::size
   return order;
 }
 
-void silu_inplace(std::span<float> values) {
-  for (float& v : values) v = v / (1.0f + std::exp(-v));
-}
+void silu_inplace(std::span<float> values) { simd::silu(values); }
 
 void swiglu_combine(std::span<const float> gate, std::span<const float> up,
                     std::span<float> out) {
   HYBRIMOE_REQUIRE(gate.size() == up.size() && gate.size() == out.size(),
                    "swiglu_combine length mismatch");
-  for (std::size_t i = 0; i < gate.size(); ++i) {
-    const float g = gate[i] / (1.0f + std::exp(-gate[i]));
-    out[i] = g * up[i];
-  }
+  simd::swiglu(gate, up, out);
 }
 
 void rmsnorm_inplace(std::span<float> values, float eps) {
   if (values.empty()) return;
-  double sq = 0.0;
-  for (const float v : values) sq += static_cast<double>(v) * v;
-  const auto inv =
-      static_cast<float>(1.0 / std::sqrt(sq / static_cast<double>(values.size()) + eps));
-  for (float& v : values) v *= inv;
+  simd::rmsnorm(values, eps);
 }
 
 double l2_norm(std::span<const float> values) noexcept {

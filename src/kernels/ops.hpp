@@ -16,6 +16,10 @@ namespace hybrimoe::kernels {
 /// y = W * x, with W of shape [m x n] and x of length n.
 [[nodiscard]] std::vector<float> gemv(const Tensor& w, std::span<const float> x);
 
+/// y = W * x written into a caller-provided output of length w.rows()
+/// (the allocation-free form the execution hot path uses).
+void gemv_into(const Tensor& w, std::span<const float> x, std::span<float> y);
+
 /// C = A * B with A [m x k], B [k x n].
 [[nodiscard]] Tensor gemm(const Tensor& a, const Tensor& b);
 

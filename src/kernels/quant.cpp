@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/simd.hpp"
+
 namespace hybrimoe::kernels {
 
 namespace {
@@ -82,26 +84,16 @@ Tensor QuantizedMatrix::dequantize() const {
 }
 
 std::vector<float> QuantizedMatrix::gemv(std::span<const float> x) const {
-  HYBRIMOE_REQUIRE(x.size() == cols_, "quantized gemv dimension mismatch");
   std::vector<float> y(rows_, 0.0f);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const Q4Block* row_blocks = blocks_.data() + r * blocks_per_row_;
-    double acc = 0.0;
-    for (std::size_t b = 0; b < blocks_per_row_; ++b) {
-      const Q4Block& block = row_blocks[b];
-      const std::size_t base = b * Q4Block::kValues;
-      const std::size_t len = std::min(Q4Block::kValues, cols_ - base);
-      double block_acc = 0.0;
-      for (std::size_t i = 0; i < len; ++i) {
-        const std::uint8_t byte = block.packed[i / 2];
-        const int code = (i % 2 == 0) ? (byte & 0x0F) : (byte >> 4);
-        block_acc += static_cast<double>(code - 8) * x[base + i];
-      }
-      acc += block_acc * block.scale;
-    }
-    y[r] = static_cast<float>(acc);
-  }
+  gemv_into(x, y);
   return y;
+}
+
+void QuantizedMatrix::gemv_into(std::span<const float> x, std::span<float> y) const {
+  HYBRIMOE_REQUIRE(x.size() == cols_, "quantized gemv dimension mismatch");
+  HYBRIMOE_REQUIRE(y.size() == rows_, "quantized gemv output dimension mismatch");
+  for (std::size_t r = 0; r < rows_; ++r)
+    y[r] = static_cast<float>(simd::q4_dot(row_blocks(r), x));
 }
 
 }  // namespace hybrimoe::kernels

@@ -56,6 +56,19 @@ class QuantizedMatrix {
   /// y = W * x computed directly on quantized blocks.
   [[nodiscard]] std::vector<float> gemv(std::span<const float> x) const;
 
+  /// y = W * x into a caller-provided output of length rows()
+  /// (the allocation-free form the execution hot path uses).
+  void gemv_into(std::span<const float> x, std::span<float> y) const;
+
+  /// Blocks of one row (blocks-per-row spans, row padded to whole blocks).
+  [[nodiscard]] std::span<const Q4Block> row_blocks(std::size_t r) const noexcept {
+    return {blocks_.data() + r * blocks_per_row_, blocks_per_row_};
+  }
+
+  /// All blocks, row-major (rows() * blocks-per-row entries); the raw payload
+  /// a copy engine ships when experts run quantized.
+  [[nodiscard]] std::span<const Q4Block> blocks() const noexcept { return blocks_; }
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;

@@ -74,13 +74,16 @@ double OffloadEngine::run_step(const workload::ForwardTrace& forward,
     available[a] = costs_.accelerator_available(a) ? 1 : 0;
   double latency = 0.0;
 
-  // Execution backend (optional): Threaded lowers every plan onto real
-  // threads; Simulated-with-executor runs the single-threaded reference so
-  // both modes produce comparable output digests.
+  // Execution backend (optional): Threaded/Performance lower every plan onto
+  // real threads (Performance with pacing dropped); Simulated-with-executor
+  // runs the single-threaded reference so all modes produce comparable
+  // output digests.
   exec::HybridExecutor* executor = components_.executor.get();
   const bool threaded =
-      components_.execution_mode == exec::ExecutionMode::Threaded;
-  if (executor != nullptr) executor->begin_step();
+      components_.execution_mode != exec::ExecutionMode::Simulated;
+  if (executor != nullptr)
+    executor->begin_step(components_.execution_mode !=
+                         exec::ExecutionMode::Performance);
   // Close the step on any exception below: a (possibly shared) executor
   // left mid-step would make every later begin_step throw, masking the
   // original error. Disarmed before the normal end_step.

@@ -53,14 +53,16 @@ struct EngineComponents {
   /// Which backend executes the scheduler's plans. Simulated charges the
   /// plan's modeled times only (the default, and the only mode that needs
   /// no executor); Threaded additionally lowers every plan onto real
-  /// threads via `executor` and records wall-clock measurements in
-  /// StageMetrics::measured_latency.
+  /// threads via `executor`, paced to the scaled modeled durations, and
+  /// records wall-clock measurements in StageMetrics::measured_latency;
+  /// Performance runs the identical lowering unpaced, so measured_latency
+  /// is real kernel/copy wall time (digests match Threaded bit-for-bit).
   exec::ExecutionMode execution_mode = exec::ExecutionMode::Simulated;
-  /// Execution backend. Required for Threaded mode; optional in Simulated
-  /// mode, where — if present — it runs the single-threaded reference path
-  /// so both modes produce comparable layer-output digests. May be shared
-  /// across engines that run sequentially (see exec::HybridExecutor
-  /// thread-safety notes: one engine step at a time).
+  /// Execution backend. Required for Threaded/Performance modes; optional
+  /// in Simulated mode, where — if present — it runs the single-threaded
+  /// reference path so all modes produce comparable layer-output digests.
+  /// May be shared across engines that run sequentially (see
+  /// exec::HybridExecutor thread-safety notes: one engine step at a time).
   std::shared_ptr<exec::HybridExecutor> executor;
 };
 

@@ -139,7 +139,8 @@ exec::ExecutionMode exec_from_name(const JsonValue& v) {
   const std::string& name = as_string(v, "exec");
   if (name == "simulated") return exec::ExecutionMode::Simulated;
   if (name == "threaded") return exec::ExecutionMode::Threaded;
-  static const std::vector<std::string> kModes{"simulated", "threaded"};
+  if (name == "performance") return exec::ExecutionMode::Performance;
+  static const std::vector<std::string> kModes{"simulated", "threaded", "performance"};
   spec_error(v.offset, util::unknown_name_message("execution mode", name, kModes));
 }
 

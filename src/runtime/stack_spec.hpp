@@ -134,7 +134,7 @@ struct StackSpec {
   std::optional<double> overhead_us;
   /// Cache pre-population from warmup statistics.
   WarmupSeeding warmup = WarmupSeeding::Seeded;
-  /// Execution backend override ("simulated" / "threaded").
+  /// Execution backend override ("simulated" / "threaded" / "performance").
   /// Unset: the build's mode (EngineBuildInfo::execution_mode).
   std::optional<exec::ExecutionMode> execution;
   /// Fault-injection scenario to run the stack under ("scenario": a preset

@@ -84,6 +84,17 @@ TEST(StackSpecTest, FullyLoadedSpecRoundTrips) {
   EXPECT_EQ(parse_stack_spec(to_json(spec)), spec) << to_json(spec);
 }
 
+TEST(StackSpecTest, PerformanceExecutionModeRoundTrips) {
+  StackSpec spec;
+  spec.execution = exec::ExecutionMode::Performance;
+  const std::string json = to_json(spec);
+  EXPECT_NE(json.find("\"exec\": \"performance\""), std::string::npos) << json;
+  EXPECT_EQ(parse_stack_spec(json), spec);
+  const StackSpec parsed = parse_stack_spec(R"({"exec": "performance"})");
+  ASSERT_TRUE(parsed.execution.has_value());
+  EXPECT_EQ(*parsed.execution, exec::ExecutionMode::Performance);
+}
+
 TEST(StackSpecTest, ShorthandStringsEqualPolicyOnlyObjects) {
   const StackSpec a = parse_stack_spec(
       R"({"scheduler": "hybrid", "cache": "lru", "prefetch": "none"})");

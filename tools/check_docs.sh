@@ -14,7 +14,9 @@
 #    equivalence tests pin down), the trace subsystem (src/trace/*.hpp — its
 #    schema and comparator semantics are the regression-gate contract) plus
 #    the device-topology headers (src/hw/topology.hpp, src/sched/device.hpp —
-#    the vocabulary every layer of the stack now speaks).
+#    the vocabulary every layer of the stack now speaks), and the SIMD
+#    dispatch header (src/kernels/simd.hpp — its ulp-equivalence and
+#    dispatch-determinism contract is what keeps digests stable).
 #
 # 2. Relative links. Every `[text](path)` link in docs/*.md, README.md and
 #    bench/README.md that is not an absolute URL or a pure fragment must
@@ -30,7 +32,7 @@ fail=0
 # ---------------------------------------------------------------------------
 # 1. Doc-comment coverage.
 # ---------------------------------------------------------------------------
-doc_headers="src/exec/*.hpp src/scenario/*.hpp src/serve_sim/*.hpp src/trace/*.hpp src/hw/topology.hpp src/sched/device.hpp"
+doc_headers="src/exec/*.hpp src/scenario/*.hpp src/serve_sim/*.hpp src/trace/*.hpp src/hw/topology.hpp src/sched/device.hpp src/kernels/simd.hpp"
 for header in $doc_headers; do
   out=$(awk '
     # Track public sections inside class bodies (structs default public).

@@ -75,6 +75,11 @@ options:
                         (default: derived from the model)
   --admission MODE      KV admission policy: queue | reject | evict
                         (default queue; requires KV accounting)
+  --exec MODE           execution backend: simulated | threaded | performance
+                        (default: the spec's "exec" entry, else simulated).
+                        threaded/performance attach a real executor; threaded
+                        calibrates pacing to this host, performance runs the
+                        kernels unpaced (measured latency = real wall time)
   --json PATH           write a machine-readable summary
   --trace PATH          stream a per-step JSONL trace of the run (schema
                         hybrimoe-trace v1; compare runs with
@@ -87,6 +92,14 @@ options:
 [[noreturn]] void usage_error(const std::string& message) {
   std::cerr << "hybrimoe_run: " << message << "\n" << kUsage;
   std::exit(2);
+}
+
+exec::ExecutionMode exec_mode_from_flag(const std::string& name) {
+  if (name == "simulated") return exec::ExecutionMode::Simulated;
+  if (name == "threaded") return exec::ExecutionMode::Threaded;
+  if (name == "performance") return exec::ExecutionMode::Performance;
+  throw std::invalid_argument(util::unknown_name_message(
+      "execution mode", name, {"simulated", "threaded", "performance"}));
 }
 
 moe::ModelConfig model_from_name(const std::string& name) {
@@ -122,6 +135,7 @@ struct Options {
   std::string kv_budget;  ///< "" = off, "auto" = topology-derived, else MB
   double kv_bytes_per_token = 0.0;
   std::string admission;  ///< "" = queue (only meaningful with KV accounting)
+  std::string exec;       ///< "" = the spec's "exec" entry, else simulated
   std::string json_path;
   std::string trace_path;
   bool print_spec = false;
@@ -217,6 +231,8 @@ Options parse_options(int argc, char** argv) {
           to_double("--kv-bytes-per-token", next(i, "--kv-bytes-per-token"));
     } else if (arg == "--admission") {
       opts.admission = next(i, "--admission");
+    } else if (arg == "--exec") {
+      opts.exec = next(i, "--exec");
     } else if (arg == "--json") {
       opts.json_path = next(i, "--json");
     } else if (arg == "--trace") {
@@ -284,6 +300,24 @@ int main(int argc, char** argv) {
     spec.cache_ratio = opts.cache_ratio;
     spec.trace.seed = opts.seed;
     runtime::ExperimentHarness harness(spec);
+
+    // --exec overrides the spec's "exec" entry. Threaded/Performance need a
+    // real executor, which a declarative spec alone cannot carry — build one
+    // here and attach it before the harness builds any engine.
+    if (!opts.exec.empty()) stack.execution = exec_mode_from_flag(opts.exec);
+    const exec::ExecutionMode exec_mode =
+        stack.execution.value_or(exec::ExecutionMode::Simulated);
+    if (exec_mode != exec::ExecutionMode::Simulated) {
+      exec::ExecOptions exec_options;
+      if (exec_mode == exec::ExecutionMode::Threaded) {
+        // Pacing must dominate real kernel time on this host: probe with a
+        // default-built executor, then bake the calibrated scale in.
+        exec::HybridExecutor probe;
+        exec_options.time_scale = probe.calibrate_time_scale(harness.costs(), 4.0);
+      }
+      harness.set_execution(exec_mode,
+                            std::make_shared<exec::HybridExecutor>(exec_options));
+    }
 
     workload::RequestStreamParams stream;
     stream.num_requests = opts.requests;
@@ -424,6 +458,13 @@ int main(int argc, char** argv) {
         std::to_string(metrics.steps.transfers) + " / " +
             std::to_string(metrics.steps.prefetches) + " / " +
             std::to_string(metrics.steps.maintenance));
+    std::ostringstream digest_hex;
+    digest_hex << "0x" << std::hex << std::uppercase << metrics.steps.exec_digest;
+    if (exec_mode != exec::ExecutionMode::Simulated) {
+      row("exec mode", exec::to_string(exec_mode));
+      row("measured latency", util::format_seconds(metrics.steps.measured_latency));
+      row("exec digest", digest_hex.str());
+    }
     table.print(std::cout);
 
     if (recorder.has_value()) {
@@ -471,6 +512,13 @@ int main(int argc, char** argv) {
         w.field("kv_rejected").number(metrics.kv.rejected);
         w.field("kv_evictions").number(metrics.kv.evictions);
         w.field("admission").string(serve_sim::to_string(stack.kv->mode));
+      }
+      // Execution fields are gated the same way: simulated-mode artifacts
+      // (every committed golden) stay byte-identical to the prior schema.
+      if (exec_mode != exec::ExecutionMode::Simulated) {
+        w.field("exec").string(exec::to_string(exec_mode));
+        w.field("measured_latency_s").number(metrics.steps.measured_latency);
+        w.field("exec_digest").string(digest_hex.str());
       }
       w.finish();
       std::cout << "\nWrote " << opts.json_path << "\n";
